@@ -1,0 +1,83 @@
+// Command joltc compiles Jolt source files to bytecode, optionally dumping
+// the bytecode listing or the JIT's machine IR.
+//
+// Usage:
+//
+//	joltc [-o prog.jzbc] [-dump ast|bytecode|ir] [-inline=true] [-unroll 4] prog.jolt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedfilter/internal/bytecode"
+	"schedfilter/internal/jit"
+	"schedfilter/internal/jolt"
+)
+
+func main() {
+	out := flag.String("o", "", "write encoded bytecode to this file")
+	dump := flag.String("dump", "", "dump a phase: 'ast', 'bytecode', or 'ir'")
+	inline := flag.Bool("inline", true, "enable the bytecode inliner for -dump ir")
+	unroll := flag.Int("unroll", 0, "unroll factor for counted loops (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: joltc [-o out.jzbc] [-dump ast|bytecode|ir] [-unroll k] prog.jolt")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *dump == "ast" {
+		prog, err := jolt.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *unroll >= 2 {
+			jolt.Unroll(prog, *unroll)
+		}
+		fmt.Print(jolt.PrintProgram(prog))
+		return
+	}
+
+	mod, err := jolt.CompileWithOptions(string(src), jolt.Options{UnrollFactor: *unroll})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *dump {
+	case "":
+	case "bytecode":
+		fmt.Print(mod.String())
+	case "ir":
+		opts := jit.DefaultOptions()
+		opts.Inline = *inline
+		prog, err := jit.Compile(mod, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.String())
+	default:
+		fatal(fmt.Errorf("unknown -dump phase %q", *dump))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bytecode.Encode(f, mod); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "joltc: wrote %s (%d functions, %d instructions)\n",
+			*out, len(mod.Fns), mod.NumInsns())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "joltc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command joltrun compiles and executes a Jolt program (or a bundled
+// benchmark workload) under a chosen scheduling protocol, reporting the
+// checksum, the scheduling-pass statistics, and — in timed mode — the
+// simulated cycle count.
+//
+// Usage:
+//
+//	joltrun [-workload name | prog.jolt | prog.jzbc]
+//	        [-sched ls|ns|size:N|rules:FILE] [-timed] [-interp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"schedfilter"
+	"schedfilter/internal/bytecode"
+)
+
+func decodeModule(r io.Reader) (*schedfilter.Module, error) {
+	return bytecode.Decode(r)
+}
+
+func main() {
+	workload := flag.String("workload", "", "run a bundled benchmark instead of a file")
+	schedSpec := flag.String("sched", "ns", "protocol: ls, ns, size:N, or rules:FILE")
+	timed := flag.Bool("timed", false, "run the cycle-accurate timing simulator")
+	useInterp := flag.Bool("interp", false, "run the bytecode interpreter instead of compiled code")
+	flag.Parse()
+
+	mod, err := loadModule(*workload, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *useInterp {
+		res, err := schedfilter.Interpret(mod, 0)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+		fmt.Printf("joltrun: interp ret=%d steps=%d\n", res.Ret, res.Steps)
+		return
+	}
+
+	m := schedfilter.NewMachine()
+	prog, err := schedfilter.CompileModule(mod, schedfilter.DefaultJITOptions())
+	if err != nil {
+		fatal(err)
+	}
+	filter, err := parseFilter(*schedSpec)
+	if err != nil {
+		fatal(err)
+	}
+	stats := schedfilter.Schedule(m, prog, filter)
+	res, err := schedfilter.Execute(prog, m, *timed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	fmt.Printf("joltrun: ret=%d protocol=%s blocks=%d scheduled=%d changed=%d schedtime=%v\n",
+		res.Ret, filter.Name(), stats.Blocks, stats.Scheduled, stats.Changed, stats.SchedTime)
+	if *timed {
+		fmt.Printf("joltrun: %d instructions in %d cycles (CPI %.2f)\n",
+			res.DynInstrs, res.Cycles, float64(res.Cycles)/float64(res.DynInstrs))
+	}
+}
+
+func loadModule(workload string, args []string) (*schedfilter.Module, error) {
+	if workload != "" {
+		w, err := schedfilter.WorkloadByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Compile()
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("need exactly one program file or -workload (see -h)")
+	}
+	path := args[0]
+	if strings.HasSuffix(path, ".jzbc") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return decodeModule(f)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return schedfilter.CompileJolt(string(src))
+}
+
+func parseFilter(spec string) (schedfilter.Filter, error) {
+	switch {
+	case spec == "ls":
+		return schedfilter.AlwaysSchedule, nil
+	case spec == "ns":
+		return schedfilter.NeverSchedule, nil
+	case strings.HasPrefix(spec, "size:"):
+		n, err := strconv.Atoi(spec[len("size:"):])
+		if err != nil {
+			return nil, fmt.Errorf("bad size threshold in %q", spec)
+		}
+		return schedfilter.SizeFilter(n), nil
+	case strings.HasPrefix(spec, "rules:"):
+		text, err := os.ReadFile(spec[len("rules:"):])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := schedfilter.ParseRuleSet(string(text))
+		if err != nil {
+			return nil, err
+		}
+		return schedfilter.NewRuleFilter(rs, "L/N"), nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q (want ls, ns, size:N, rules:FILE)", spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "joltrun:", err)
+	os.Exit(1)
+}

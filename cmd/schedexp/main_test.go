@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"schedfilter"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String(), ferr
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
+	if err := run(r, "tableX"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
+	for _, exp := range []string{"table1", "table2", "table7"} {
+		out, err := captureStdout(t, func() error { return run(r, exp) })
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s produced implausibly short output:\n%s", exp, out)
+		}
+	}
+}
+
+func TestRunTable5EndToEnd(t *testing.T) {
+	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
+	out, err := captureStdout(t, func() error { return run(r, "table5") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NS is constant") {
+		t.Errorf("table5 output missing the NS-constant line:\n%s", out)
+	}
+}
+
+func TestRunFigure4EndToEnd(t *testing.T) {
+	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
+	out, err := captureStdout(t, func() error { return run(r, "fig4") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "list :-") || !strings.Contains(out, "orig :- .") {
+		t.Errorf("fig4 output lacks rule-set lines:\n%s", out)
+	}
+}

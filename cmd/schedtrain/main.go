@@ -1,0 +1,101 @@
+// Command schedtrain runs the paper's offline training pipeline: it
+// compiles the bundled benchmarks, collects one instance per basic block,
+// induces a Ripper filter at the chosen threshold, and prints (or writes)
+// the rule set in the Figure-4 text format, along with training-set
+// statistics.
+//
+// Usage:
+//
+//	schedtrain [-suite 1|2|all] [-t 20] [-loo benchmark] [-o rules.txt]
+//	           [-csv instances.csv] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedfilter"
+	"schedfilter/internal/training"
+	"schedfilter/internal/workloads"
+)
+
+func main() {
+	suite := flag.String("suite", "1", "benchmark suite: 1, 2, or all")
+	t := flag.Int("t", 0, "labelling threshold percent (paper sweeps 0..50)")
+	loo := flag.String("loo", "", "leave this benchmark out of training (cross-validation)")
+	out := flag.String("o", "", "write the rule set to this file instead of stdout")
+	csvPath := flag.String("csv", "", "also dump the raw instances as CSV to this file")
+	stats := flag.Bool("stats", true, "print training-set statistics")
+	flag.Parse()
+
+	var ws []workloads.Workload
+	switch *suite {
+	case "1":
+		ws = workloads.Suite1()
+	case "2":
+		ws = workloads.Suite2()
+	case "all":
+		ws = workloads.All()
+	default:
+		fatal(fmt.Errorf("bad -suite %q (want 1, 2, or all)", *suite))
+	}
+
+	m := schedfilter.NewMachine()
+	var data []*schedfilter.BenchData
+	for i := range ws {
+		bd, err := schedfilter.CollectTrainingData(&ws[i], m, schedfilter.DefaultCompileOptions())
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, bd)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := training.WriteCSV(f, data); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedtrain: wrote instances to %s\n", *csvPath)
+	}
+
+	if *stats {
+		total := 0
+		for _, bd := range data {
+			ls, ns := training.LabelCounts(bd.Records, *t)
+			fmt.Fprintf(os.Stderr, "schedtrain: %-10s %4d blocks: %4d LS, %4d NS at t=%d\n",
+				bd.Name, len(bd.Records), ls, ns, *t)
+			total += len(bd.Records)
+		}
+		fmt.Fprintf(os.Stderr, "schedtrain: %d blocks total\n", total)
+	}
+
+	var filter *schedfilter.InducedFilter
+	if *loo != "" {
+		filter = schedfilter.TrainLeaveOneOut(data, *loo, *t, schedfilter.DefaultRipperOptions())
+	} else {
+		filter = schedfilter.TrainFilter(data, *t, schedfilter.DefaultRipperOptions())
+	}
+	text := filter.Rules.String()
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedtrain: wrote %s (%d rules)\n", *out, len(filter.Rules.Rules))
+		return
+	}
+	fmt.Print(text)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedtrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module schedfilter
+
+go 1.22

@@ -1,0 +1,98 @@
+package blockgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedfilter/internal/ir"
+)
+
+func TestGenLengthBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig
+	for trial := 0; trial < 50; trial++ {
+		ins := Gen(r, cfg)
+		// 5 seed instructions + requested body + optional cmp/branch,
+		// plus up to one extra from the guarded-load hazard pair.
+		if len(ins) < cfg.MinLen {
+			t.Fatalf("block too short: %d", len(ins))
+		}
+		if len(ins) > cfg.MaxLen+10 {
+			t.Fatalf("block too long: %d", len(ins))
+		}
+	}
+}
+
+func TestGenDeterministicPerSeed(t *testing.T) {
+	a := Gen(rand.New(rand.NewSource(7)), DefaultConfig)
+	b := Gen(rand.New(rand.NewSource(7)), DefaultConfig)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ for same seed")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("instruction %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenBranchTerminator(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig
+	cfg.WithBranch = true
+	for trial := 0; trial < 20; trial++ {
+		ins := Gen(r, cfg)
+		if !ins[len(ins)-1].Op.IsBranchOp() {
+			t.Fatal("block does not end in a branch")
+		}
+	}
+	cfg.WithBranch = false
+	ins := Gen(r, cfg)
+	if ins[len(ins)-1].Op.IsBranchOp() {
+		t.Fatal("branchless config still emitted a branch")
+	}
+}
+
+func TestGenMemoryStaysInScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig
+	for trial := 0; trial < 40; trial++ {
+		ins := Gen(r, cfg)
+		for i := range ins {
+			in := &ins[i]
+			if in.Op == ir.LD || in.Op == ir.ST || in.Op == ir.LFD || in.Op == ir.STFD {
+				if in.Imm < 0 || in.Imm >= cfg.MemWords {
+					t.Fatalf("offset %d outside scratch [0,%d)", in.Imm, cfg.MemWords)
+				}
+			}
+		}
+	}
+}
+
+func TestGenGuardedLoadsUseGuards(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig
+	cfg.HazardFrac = 0.5
+	sawGuard := false
+	for trial := 0; trial < 20 && !sawGuard; trial++ {
+		ins := Gen(r, cfg)
+		for i := range ins {
+			if ins[i].Op == ir.NULLCHECK {
+				if len(ins[i].Defs) != 1 || ins[i].Defs[0].Class != ir.ClassGuard {
+					t.Fatal("null check without a guard def")
+				}
+				sawGuard = true
+			}
+		}
+	}
+	if !sawGuard {
+		t.Error("hazard-heavy config generated no checks")
+	}
+}
+
+func TestGenBlockWrapsID(t *testing.T) {
+	b := GenBlock(rand.New(rand.NewSource(5)), DefaultConfig, 42)
+	if b.ID != 42 || b.Len() == 0 {
+		t.Errorf("block id=%d len=%d", b.ID, b.Len())
+	}
+}

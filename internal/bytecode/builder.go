@@ -1,0 +1,106 @@
+package bytecode
+
+import "fmt"
+
+// Builder assembles one function with symbolic labels, sparing callers the
+// error-prone bookkeeping of absolute branch targets. It is used by the
+// Jolt code generator and by tests that need hand-written bytecode.
+type Builder struct {
+	fn     *Fn
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder starts a function with the given signature. Parameter slots
+// are allocated as the first locals.
+func NewBuilder(name string, params []Type, ret Type) *Builder {
+	return &Builder{
+		fn: &Fn{
+			Name:   name,
+			Params: append([]Type(nil), params...),
+			Ret:    ret,
+			Locals: append([]Type(nil), params...),
+		},
+		labels: make(map[string]int),
+	}
+}
+
+// Local allocates a new local slot of type t and returns its index.
+func (b *Builder) Local(t Type) int32 {
+	b.fn.Locals = append(b.fn.Locals, t)
+	return int32(len(b.fn.Locals) - 1)
+}
+
+// Emit appends a plain instruction.
+func (b *Builder) Emit(op Op) *Builder {
+	b.fn.Code = append(b.fn.Code, Insn{Op: op})
+	return b
+}
+
+// EmitA appends an instruction with operand a (slot or callee index).
+func (b *Builder) EmitA(op Op, a int32) *Builder {
+	b.fn.Code = append(b.fn.Code, Insn{Op: op, A: a})
+	return b
+}
+
+// IConst pushes an integer constant.
+func (b *Builder) IConst(v int64) *Builder {
+	b.fn.Code = append(b.fn.Code, Insn{Op: ICONST, I: v})
+	return b
+}
+
+// FConst pushes a float constant.
+func (b *Builder) FConst(v float64) *Builder {
+	b.fn.Code = append(b.fn.Code, Insn{Op: FCONST, F: v})
+	return b
+}
+
+// Label binds name to the next instruction's pc.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	b.labels[name] = len(b.fn.Code)
+	return b
+}
+
+// Branch appends a branch to the named label (resolved at Finish).
+func (b *Builder) Branch(op Op, label string) *Builder {
+	if !op.IsBranch() {
+		b.errs = append(b.errs, fmt.Errorf("%v is not a branch", op))
+	}
+	b.fixups = append(b.fixups, fixup{pc: len(b.fn.Code), label: label})
+	b.fn.Code = append(b.fn.Code, Insn{Op: op})
+	return b
+}
+
+// Finish resolves labels and returns the function.
+func (b *Builder) Finish() (*Fn, error) {
+	for _, fx := range b.fixups {
+		pc, ok := b.labels[fx.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("undefined label %q", fx.label))
+			continue
+		}
+		b.fn.Code[fx.pc].A = int32(pc)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("bytecode builder (%s): %v", b.fn.Name, b.errs[0])
+	}
+	return b.fn, nil
+}
+
+// MustFinish is Finish that panics on error (for tests).
+func (b *Builder) MustFinish() *Fn {
+	f, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"schedfilter/internal/features"
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/sched"
+)
+
+// Stats reports what a scheduling pass did to a program.
+type Stats struct {
+	// Blocks is the number of candidate blocks.
+	Blocks int
+	// Scheduled is how many blocks the filter sent to the scheduler
+	// (the paper's run-time "LS" classification count).
+	Scheduled int
+	// NotScheduled is the complement (run-time "NS" count).
+	NotScheduled int
+	// Changed is how many scheduled blocks actually changed order.
+	Changed int
+	// SchedTime is the wall-clock time of the whole pass, including
+	// feature extraction and filter evaluation.
+	SchedTime time.Duration
+	// CostBefore and CostAfter sum the estimator costs of all candidate
+	// blocks before and after the pass.
+	CostBefore int64
+	CostAfter  int64
+}
+
+// ApplyFilter runs the scheduling phase over every block of the program,
+// in place: blocks the filter approves are list-scheduled, the rest are
+// left in their original order. It returns pass statistics.
+//
+// The fixed protocols short-circuit exactly as a production JIT would: NS
+// does no work at all, LS skips feature extraction, and only the filtered
+// protocol pays for features plus rule evaluation.
+func ApplyFilter(m *machine.Model, p *ir.Program, f Filter) Stats {
+	var st Stats
+	_, always := f.(Always)
+	_, never := f.(Never)
+
+	start := time.Now()
+	for _, fn := range p.Fns {
+		for _, b := range fn.Blocks {
+			st.Blocks++
+			if never {
+				st.NotScheduled++
+				continue
+			}
+			if !always {
+				v := features.ExtractBlock(b)
+				if !f.ShouldSchedule(v) {
+					st.NotScheduled++
+					continue
+				}
+			}
+			st.Scheduled++
+			res := sched.ScheduleBlock(m, b)
+			st.CostBefore += int64(res.CostBefore)
+			st.CostAfter += int64(res.CostAfter)
+			if res.Changed {
+				st.Changed++
+			}
+		}
+	}
+	st.SchedTime = time.Since(start)
+	return st
+}
+
+// Decide runs only the decision part of the pass (no scheduling) and
+// returns per-block decisions in program order. Used to compare protocols
+// without mutating a program, and to dedupe identical decision vectors
+// across thresholds.
+func Decide(p *ir.Program, f Filter) []bool {
+	out := make([]bool, 0, p.NumBlocks())
+	for _, fn := range p.Fns {
+		for _, b := range fn.Blocks {
+			out = append(out, f.ShouldSchedule(features.ExtractBlock(b)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedfilter/internal/blockgen"
+	"schedfilter/internal/features"
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+)
+
+func genProgram(seed int64, nBlocks int) *ir.Program {
+	r := rand.New(rand.NewSource(seed))
+	fn := &ir.Fn{Name: "f"}
+	for i := 0; i < nBlocks; i++ {
+		fn.Blocks = append(fn.Blocks, blockgen.GenBlock(r, blockgen.DefaultConfig, i))
+	}
+	return &ir.Program{Fns: []*ir.Fn{fn}}
+}
+
+func TestFixedFilterNames(t *testing.T) {
+	if (Always{}).Name() != "LS" || (Never{}).Name() != "NS" {
+		t.Error("fixed protocol names wrong")
+	}
+	var v features.Vector
+	if !(Always{}).ShouldSchedule(v) || (Never{}).ShouldSchedule(v) {
+		t.Error("fixed protocol decisions wrong")
+	}
+}
+
+func TestSizeThreshold(t *testing.T) {
+	f := SizeThreshold{MinLen: 7}
+	var small, big features.Vector
+	small[0] = 6
+	big[0] = 7
+	if f.ShouldSchedule(small) {
+		t.Error("block below threshold scheduled")
+	}
+	if !f.ShouldSchedule(big) {
+		t.Error("block at threshold not scheduled")
+	}
+	if f.Name() != "size>=7" {
+		t.Errorf("name = %q", f.Name())
+	}
+}
+
+func TestApplyFilterNeverDoesNothing(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(1, 12)
+	orig := p.Clone()
+	st := ApplyFilter(m, p, Never{})
+	if st.Scheduled != 0 || st.NotScheduled != 12 || st.Blocks != 12 {
+		t.Errorf("NS stats = %+v", st)
+	}
+	if p.String() != orig.String() {
+		t.Error("NS modified the program")
+	}
+}
+
+func TestApplyFilterAlwaysSchedulesAll(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(2, 12)
+	st := ApplyFilter(m, p, Always{})
+	if st.Scheduled != 12 || st.NotScheduled != 0 {
+		t.Errorf("LS stats = %+v", st)
+	}
+	if st.CostAfter > st.CostBefore {
+		t.Errorf("LS raised total cost: %d -> %d", st.CostBefore, st.CostAfter)
+	}
+}
+
+func TestApplyFilterPartitionsBlocks(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(3, 20)
+	st := ApplyFilter(m, p, SizeThreshold{MinLen: 25})
+	if st.Scheduled+st.NotScheduled != st.Blocks {
+		t.Errorf("stats do not partition: %+v", st)
+	}
+	if st.Scheduled == 0 || st.NotScheduled == 0 {
+		t.Skipf("degenerate split for this seed: %+v", st)
+	}
+}
+
+func TestApplyFilterTimesThePass(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(4, 10)
+	st := ApplyFilter(m, p, Always{})
+	if st.SchedTime <= 0 {
+		t.Error("scheduling pass reported zero time")
+	}
+}
+
+func TestDecideMatchesApply(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(5, 16)
+	f := SizeThreshold{MinLen: 20}
+	dec := Decide(p, f)
+	st := ApplyFilter(m, p.Clone(), f)
+	yes := 0
+	for _, d := range dec {
+		if d {
+			yes++
+		}
+	}
+	if yes != st.Scheduled {
+		t.Errorf("Decide says %d blocks, ApplyFilter scheduled %d", yes, st.Scheduled)
+	}
+}
+
+func TestInducedFilterDelegatesToRules(t *testing.T) {
+	// One rule: bbLen >= 10 → schedule.
+	rs := &ripper.RuleSet{
+		Names: features.Names[:],
+		Rules: []ripper.Rule{{Conds: []ripper.Condition{{Attr: 0, LE: false, Val: 10}}}},
+	}
+	f := NewInduced(rs, "")
+	var small, big features.Vector
+	small[0] = 5
+	big[0] = 15
+	if f.ShouldSchedule(small) || !f.ShouldSchedule(big) {
+		t.Error("induced filter does not follow its rules")
+	}
+	if f.Name() != "L/N" {
+		t.Errorf("default label = %q", f.Name())
+	}
+}

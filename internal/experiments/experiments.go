@@ -1,0 +1,429 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: classification error rates (Table 3), predicted execution
+// times (Table 4), training-set and run-time classification counts
+// (Tables 5 and 6), scheduling-time and application-running-time
+// comparisons without and with thresholds (Figures 1 and 2), the same on
+// the suite of benchmarks that benefit from scheduling (Figure 3), and a
+// sample induced rule set (Figure 4).
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"schedfilter/internal/core"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+	"schedfilter/internal/sim"
+	"schedfilter/internal/training"
+	"schedfilter/internal/workloads"
+)
+
+// Thresholds is the paper's sweep: t = 0..50 in steps of 5.
+var Thresholds = []int{0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+
+// Config parameterizes a run.
+type Config struct {
+	// Model is the machine model (default MPC7410).
+	Model *machine.Model
+	// CompileOpts configure the pipeline (default: aggressive inlining
+	// plus 4-way loop unrolling).
+	CompileOpts training.Options
+	// RipperOpts configure induction (default: paper labels, 2
+	// optimization rounds).
+	RipperOpts ripper.Options
+	// SchedTimeReps is how many times scheduling passes repeat when
+	// measuring wall-clock scheduling time (minimum is reported).
+	SchedTimeReps int
+}
+
+// DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Model:         machine.NewMPC7410(),
+		CompileOpts:   training.DefaultOptions(),
+		RipperOpts:    ripper.DefaultOptions(),
+		SchedTimeReps: 5,
+	}
+}
+
+// Runner caches collected benchmark data, induced filters, and simulated
+// application times so the full table/figure sweep stays fast.
+type Runner struct {
+	cfg Config
+
+	suite1 []*training.BenchData
+	suite2 []*training.BenchData
+
+	filters map[string]*core.Induced // key: suite/target/t
+	appTime map[string]int64         // key: bench + decision-vector hash
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Model == nil {
+		cfg.Model = machine.NewMPC7410()
+	}
+	if cfg.SchedTimeReps <= 0 {
+		cfg.SchedTimeReps = 5
+	}
+	return &Runner{
+		cfg:     cfg,
+		filters: map[string]*core.Induced{},
+		appTime: map[string]int64{},
+	}
+}
+
+// Suite1 returns (collecting on first use) the SPECjvm98 stand-in data.
+func (r *Runner) Suite1() ([]*training.BenchData, error) {
+	if r.suite1 == nil {
+		data, err := training.CollectAll(workloads.Suite1(), r.cfg.Model, r.cfg.CompileOpts)
+		if err != nil {
+			return nil, err
+		}
+		r.suite1 = data
+	}
+	return r.suite1, nil
+}
+
+// Suite2 returns (collecting on first use) the FP suite data.
+func (r *Runner) Suite2() ([]*training.BenchData, error) {
+	if r.suite2 == nil {
+		data, err := training.CollectAll(workloads.Suite2(), r.cfg.Model, r.cfg.CompileOpts)
+		if err != nil {
+			return nil, err
+		}
+		r.suite2 = data
+	}
+	return r.suite2, nil
+}
+
+func (r *Runner) suite(s workloads.Suite) ([]*training.BenchData, error) {
+	if s == workloads.SuiteFP {
+		return r.Suite2()
+	}
+	return r.Suite1()
+}
+
+// Filter returns the leave-one-out filter for target at threshold t,
+// cached.
+func (r *Runner) Filter(s workloads.Suite, target string, t int) (*core.Induced, error) {
+	key := fmt.Sprintf("%d/%s/%d", s, target, t)
+	if f, ok := r.filters[key]; ok {
+		return f, nil
+	}
+	data, err := r.suite(s)
+	if err != nil {
+		return nil, err
+	}
+	f := training.LeaveOneOut(data, target, t, r.cfg.RipperOpts)
+	r.filters[key] = f
+	return f, nil
+}
+
+// Geomean computes the geometric mean of strictly positive values; zero
+// values are clamped to a small epsilon as the paper's tables do
+// implicitly (error rates of 0% appear in its geometric means).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x < 1e-6 {
+			x = 1e-6
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// --- Table 3: classification error rates ---
+
+// Table3Result holds error rates (percent) per benchmark per threshold.
+type Table3Result struct {
+	Benchmarks []string
+	Thresholds []int
+	// Err[t][b] is the percent misclassified.
+	Err     [][]float64
+	Geomean []float64
+}
+
+// Table3 reproduces the classification-error table via leave-one-out
+// cross-validation over suite 1.
+func (r *Runner) Table3() (*Table3Result, error) {
+	data, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Thresholds: Thresholds}
+	for _, bd := range data {
+		res.Benchmarks = append(res.Benchmarks, bd.Name)
+	}
+	for _, t := range Thresholds {
+		row := make([]float64, len(data))
+		for i, bd := range data {
+			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = 100 * training.ErrorRate(f, bd, t)
+		}
+		res.Err = append(res.Err, row)
+		res.Geomean = append(res.Geomean, Geomean(row))
+	}
+	return res, nil
+}
+
+// --- Table 4: predicted execution times ---
+
+// Table4Result holds predicted times as a percentage of never-scheduling.
+type Table4Result struct {
+	Benchmarks []string
+	Thresholds []int
+	// Ratio[t][b] is 100 * SIM(filter) / SIM(NS).
+	Ratio   [][]float64
+	Geomean []float64
+}
+
+// Table4 reproduces the predicted (simulated) execution-time table: the
+// profile-weighted estimator cost of filtered code relative to
+// unscheduled code.
+func (r *Runner) Table4() (*Table4Result, error) {
+	data, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Thresholds: Thresholds}
+	for _, bd := range data {
+		res.Benchmarks = append(res.Benchmarks, bd.Name)
+	}
+	for _, t := range Thresholds {
+		row := make([]float64, len(data))
+		for i, bd := range data {
+			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
+			if err != nil {
+				return nil, err
+			}
+			ns := training.PredictedTime(bd, core.Never{})
+			fl := training.PredictedTime(bd, f)
+			row[i] = 100 * float64(fl) / float64(ns)
+		}
+		res.Ratio = append(res.Ratio, row)
+		res.Geomean = append(res.Geomean, Geomean(row))
+	}
+	return res, nil
+}
+
+// --- Table 5: training-set sizes ---
+
+// Table5Result holds the LS training-instance count per threshold; NS is
+// constant by construction.
+type Table5Result struct {
+	Thresholds []int
+	LS         []int
+	NS         int
+}
+
+// Table5 reproduces the effect of t on training-set size over suite 1.
+func (r *Runner) Table5() (*Table5Result, error) {
+	data, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	var all []training.BlockRecord
+	for _, bd := range data {
+		all = append(all, bd.Records...)
+	}
+	res := &Table5Result{Thresholds: Thresholds}
+	for _, t := range Thresholds {
+		ls, ns := training.LabelCounts(all, t)
+		res.LS = append(res.LS, ls)
+		res.NS = ns
+	}
+	return res, nil
+}
+
+// --- Table 6: run-time classification counts ---
+
+// Table6Result holds, per threshold, how many blocks the leave-one-out
+// filters classified LS vs NS at run time (summed over benchmarks).
+type Table6Result struct {
+	Thresholds []int
+	LS, NS     []int
+	Total      int
+}
+
+// Table6 reproduces the run-time classification table.
+func (r *Runner) Table6() (*Table6Result, error) {
+	data, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table6Result{Thresholds: Thresholds}
+	for _, t := range Thresholds {
+		ls, ns := 0, 0
+		for _, bd := range data {
+			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
+			if err != nil {
+				return nil, err
+			}
+			l, n := training.Decisions(bd, f)
+			ls += l
+			ns += n
+		}
+		res.LS = append(res.LS, ls)
+		res.NS = append(res.NS, ns)
+		res.Total = ls + ns
+	}
+	return res, nil
+}
+
+// --- Figures: scheduling time and application running time ---
+
+// SchedTime measures the wall-clock scheduling-phase time of the filter
+// on a fresh clone of the benchmark's program. The minimum of
+// SchedTimeReps repetitions is returned, along with pass statistics.
+func (r *Runner) SchedTime(bd *training.BenchData, f core.Filter) (time.Duration, core.Stats) {
+	var best time.Duration
+	var stats core.Stats
+	for rep := 0; rep < r.cfg.SchedTimeReps; rep++ {
+		prog := bd.Prog.Clone()
+		st := core.ApplyFilter(r.cfg.Model, prog, f)
+		if rep == 0 || st.SchedTime < best {
+			best = st.SchedTime
+			stats = st
+		}
+	}
+	return best, stats
+}
+
+// AppTime returns the timed-simulator cycle count of the benchmark under
+// the filter, cached by the filter's per-block decision vector (distinct
+// thresholds often induce identical decisions).
+func (r *Runner) AppTime(bd *training.BenchData, f core.Filter) (int64, error) {
+	decisions := core.Decide(bd.Prog, f)
+	h := fnv.New64a()
+	for _, d := range decisions {
+		if d {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	key := fmt.Sprintf("%s/%x", bd.Name, h.Sum64())
+	if c, ok := r.appTime[key]; ok {
+		return c, nil
+	}
+	prog := bd.Prog.Clone()
+	core.ApplyFilter(r.cfg.Model, prog, f)
+	res, err := sim.Run(prog, sim.Config{Timed: true, Model: r.cfg.Model})
+	if err != nil {
+		return 0, fmt.Errorf("%s: timed run: %w", bd.Name, err)
+	}
+	r.appTime[key] = res.Cycles
+	return res.Cycles, nil
+}
+
+// FigureResult holds one scheduling-time or app-time series: per
+// benchmark per threshold, relative to the fixed baseline.
+type FigureResult struct {
+	Benchmarks []string
+	Thresholds []int
+	// Rel[t][b] is the ratio (scheduling time vs LS, or app time vs NS).
+	Rel     [][]float64
+	Geomean []float64
+	// LSRel is the LS protocol's own app-time ratio per benchmark
+	// (only for app-time figures).
+	LSRel []float64
+}
+
+// SchedTimeFigure produces Figures 1(a)/2(a)/3(a): scheduling time of the
+// leave-one-out filters relative to always-scheduling, per threshold.
+func (r *Runner) SchedTimeFigure(s workloads.Suite, thresholds []int) (*FigureResult, error) {
+	data, err := r.suite(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Thresholds: thresholds}
+	for _, bd := range data {
+		res.Benchmarks = append(res.Benchmarks, bd.Name)
+	}
+	lsTime := make([]time.Duration, len(data))
+	for i, bd := range data {
+		lsTime[i], _ = r.SchedTime(bd, core.Always{})
+	}
+	for _, t := range thresholds {
+		row := make([]float64, len(data))
+		for i, bd := range data {
+			f, err := r.Filter(s, bd.Name, t)
+			if err != nil {
+				return nil, err
+			}
+			ft, _ := r.SchedTime(bd, f)
+			row[i] = float64(ft) / float64(lsTime[i])
+		}
+		res.Rel = append(res.Rel, row)
+		res.Geomean = append(res.Geomean, Geomean(row))
+	}
+	return res, nil
+}
+
+// AppTimeFigure produces Figures 1(b)/2(b)/3(b): application running time
+// (timed-simulator cycles) of LS and the leave-one-out filters relative
+// to never-scheduling.
+func (r *Runner) AppTimeFigure(s workloads.Suite, thresholds []int) (*FigureResult, error) {
+	data, err := r.suite(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Thresholds: thresholds}
+	nsCycles := make([]int64, len(data))
+	lsCycles := make([]int64, len(data))
+	for i, bd := range data {
+		res.Benchmarks = append(res.Benchmarks, bd.Name)
+		var err error
+		if nsCycles[i], err = r.AppTime(bd, core.Never{}); err != nil {
+			return nil, err
+		}
+		if lsCycles[i], err = r.AppTime(bd, core.Always{}); err != nil {
+			return nil, err
+		}
+		res.LSRel = append(res.LSRel, float64(lsCycles[i])/float64(nsCycles[i]))
+	}
+	for _, t := range thresholds {
+		row := make([]float64, len(data))
+		for i, bd := range data {
+			f, err := r.Filter(s, bd.Name, t)
+			if err != nil {
+				return nil, err
+			}
+			c, err := r.AppTime(bd, f)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = float64(c) / float64(nsCycles[i])
+		}
+		res.Rel = append(res.Rel, row)
+		res.Geomean = append(res.Geomean, Geomean(row))
+	}
+	return res, nil
+}
+
+// Figure4 returns a sample induced rule set: the filter trained on six of
+// the seven suite-1 benchmarks at t=0 (leaving out the last), as in the
+// paper's Figure 4.
+func (r *Runner) Figure4() (*ripper.RuleSet, error) {
+	data, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	target := data[len(data)-1].Name
+	f, err := r.Filter(workloads.SuiteJVM98, target, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f.Rules, nil
+}

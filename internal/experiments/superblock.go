@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"schedfilter/internal/core"
+	"schedfilter/internal/features"
+	"schedfilter/internal/sched"
+	"schedfilter/internal/sim"
+	"schedfilter/internal/training"
+	"schedfilter/internal/workloads"
+)
+
+// featuresVector aliases the feature vector for the decide callbacks.
+type featuresVector = features.Vector
+
+// The superblock experiment quantifies the paper's deferred extension:
+// "We have investigated superblock scheduling in our compiler setting,
+// and with it one can get slight (1-2%) additional improvement over local
+// scheduling" (§3.1). LS-local and LS-superblock are compared on
+// application running time relative to NS.
+
+// SuperblockResult holds per-benchmark app-time ratios.
+type SuperblockResult struct {
+	Benchmarks []string
+	// LocalRel and SuperRel are LS-local and LS-superblock app times
+	// relative to NS.
+	LocalRel []float64
+	SuperRel []float64
+	// Traces and Duplicated aggregate formation statistics.
+	Traces     int
+	Duplicated int
+	GeoLocal   float64
+	GeoSuper   float64
+}
+
+// Superblocks runs the comparison over the given suite.
+func (r *Runner) Superblocks(s workloads.Suite) (*SuperblockResult, error) {
+	data, err := r.suite(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &SuperblockResult{}
+	for _, bd := range data {
+		res.Benchmarks = append(res.Benchmarks, bd.Name)
+
+		ns, err := r.AppTime(bd, core.Never{})
+		if err != nil {
+			return nil, err
+		}
+		ls, err := r.AppTime(bd, core.Always{})
+		if err != nil {
+			return nil, err
+		}
+
+		// Superblock protocol: profile the unscheduled program, form
+		// and schedule superblocks, then time the result.
+		prog := bd.Prog.Clone()
+		profRun, err := sim.Run(prog, sim.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: profiling: %w", bd.Name, err)
+		}
+		st := core.ApplySuperblocks(r.cfg.Model, prog, profRun.ExecCounts, profRun.TakenCounts,
+			sched.DefaultSuperblockOptions())
+		res.Traces += st.Traces
+		res.Duplicated += st.Duplicated
+		timed, err := sim.Run(prog, sim.Config{Timed: true, Model: r.cfg.Model})
+		if err != nil {
+			return nil, fmt.Errorf("%s: timed superblock run: %w", bd.Name, err)
+		}
+
+		res.LocalRel = append(res.LocalRel, float64(ls)/float64(ns))
+		res.SuperRel = append(res.SuperRel, float64(timed.Cycles)/float64(ns))
+	}
+	res.GeoLocal = Geomean(res.LocalRel)
+	res.GeoSuper = Geomean(res.SuperRel)
+	return res, nil
+}
+
+// Render formats the comparison.
+func (sr *SuperblockResult) Render(title string) string {
+	var b strings.Builder
+	header(&b, title)
+	b.WriteString("Application running time relative to NS (lower is better):\n")
+	fmt.Fprintf(&b, "%-14s", "protocol")
+	for _, n := range sr.Benchmarks {
+		fmt.Fprintf(&b, " %9s", truncate(n, 9))
+	}
+	fmt.Fprintf(&b, " %9s\n", "geomean")
+	fmt.Fprintf(&b, "%-14s", "LS local")
+	for _, v := range sr.LocalRel {
+		fmt.Fprintf(&b, " %9.4f", v)
+	}
+	fmt.Fprintf(&b, " %9.4f\n", sr.GeoLocal)
+	fmt.Fprintf(&b, "%-14s", "LS superblock")
+	for _, v := range sr.SuperRel {
+		fmt.Fprintf(&b, " %9.4f", v)
+	}
+	fmt.Fprintf(&b, " %9.4f\n", sr.GeoSuper)
+	fmt.Fprintf(&b, "\n%d traces formed, %d blocks tail-duplicated.\n", sr.Traces, sr.Duplicated)
+	return b.String()
+}
+
+// SuperblockFilterResult evaluates the paper's suggested follow-on: induce
+// a filter deciding, per trace, whether superblock scheduling is worth it.
+type SuperblockFilterResult struct {
+	Benchmarks []string
+	// ErrPct is the leave-one-out classification error per benchmark.
+	ErrPct []float64
+	// Traces and positive labels aggregate the training population.
+	Traces, Positive int
+	// LocalRel, SuperRel, FilteredRel are app times vs NS.
+	LocalRel, SuperRel, FilteredRel []float64
+	GeoLocal, GeoSuper, GeoFiltered float64
+}
+
+// SuperblockFilter runs the trace-level learning procedure over a suite.
+func (r *Runner) SuperblockFilter(s workloads.Suite) (*SuperblockFilterResult, error) {
+	var ws []workloads.Workload
+	if s == workloads.SuiteFP {
+		ws = workloads.Suite2()
+	} else {
+		ws = workloads.Suite1()
+	}
+	var traceData []*training.TraceData
+	for i := range ws {
+		td, err := training.CollectSuperblockData(&ws[i], r.cfg.Model, r.cfg.CompileOpts)
+		if err != nil {
+			return nil, err
+		}
+		traceData = append(traceData, td)
+	}
+	data, err := r.suite(s)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SuperblockFilterResult{}
+	for i, td := range traceData {
+		res.Traces += len(td.Records)
+		for j := range td.Records {
+			if training.TraceLabelOf(&td.Records[j], 0) == +1 {
+				res.Positive++
+			}
+		}
+		f := training.TraceLeaveOneOut(traceData, td.Name, 0, r.cfg.RipperOpts)
+		res.Benchmarks = append(res.Benchmarks, td.Name)
+		res.ErrPct = append(res.ErrPct, 100*training.TraceErrorRate(f, td, 0))
+
+		bd := data[i]
+		ns, err := r.AppTime(bd, core.Never{})
+		if err != nil {
+			return nil, err
+		}
+		ls, err := r.AppTime(bd, core.Always{})
+		if err != nil {
+			return nil, err
+		}
+
+		super, err := r.superblockCycles(bd, nil)
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := r.superblockCycles(bd, f.ShouldSchedule)
+		if err != nil {
+			return nil, err
+		}
+		res.LocalRel = append(res.LocalRel, float64(ls)/float64(ns))
+		res.SuperRel = append(res.SuperRel, float64(super)/float64(ns))
+		res.FilteredRel = append(res.FilteredRel, float64(filtered)/float64(ns))
+	}
+	res.GeoLocal = Geomean(res.LocalRel)
+	res.GeoSuper = Geomean(res.SuperRel)
+	res.GeoFiltered = Geomean(res.FilteredRel)
+	return res, nil
+}
+
+// superblockCycles times the benchmark under (possibly filtered)
+// superblock scheduling; rejected traces and cold blocks are scheduled
+// locally, so this always includes full local LS as a baseline component.
+func (r *Runner) superblockCycles(bd *training.BenchData, decide func(v featuresVector) bool) (int64, error) {
+	prog := bd.Prog.Clone()
+	profRun, err := sim.Run(prog, sim.Config{})
+	if err != nil {
+		return 0, err
+	}
+	for fi, fn := range prog.Fns {
+		prof := make([]sched.BlockProfile, len(fn.Blocks))
+		for bi := range prof {
+			prof[bi] = sched.BlockProfile{
+				Exec:  profRun.ExecCounts[fi][bi],
+				Taken: profRun.TakenCounts[fi][bi],
+			}
+		}
+		sched.ScheduleSuperblocksFiltered(r.cfg.Model, fn, prof, sched.DefaultSuperblockOptions(), decide)
+	}
+	timed, err := sim.Run(prog, sim.Config{Timed: true, Model: r.cfg.Model})
+	if err != nil {
+		return 0, err
+	}
+	return timed.Cycles, nil
+}
+
+// Render formats the superblock-filter experiment.
+func (sr *SuperblockFilterResult) Render(title string) string {
+	var b strings.Builder
+	header(&b, title)
+	fmt.Fprintf(&b, "Trace population: %d traces, %d labelled beneficial at t=0.\n\n", sr.Traces, sr.Positive)
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, n := range sr.Benchmarks {
+		fmt.Fprintf(&b, " %9s", truncate(n, 9))
+	}
+	fmt.Fprintf(&b, " %9s\n", "geomean")
+	row := func(name string, vals []float64, geo float64, format string) {
+		fmt.Fprintf(&b, "%-14s", name)
+		for _, v := range vals {
+			fmt.Fprintf(&b, " "+format, v)
+		}
+		fmt.Fprintf(&b, " "+format+"\n", geo)
+	}
+	row("err%", sr.ErrPct, Geomean(sr.ErrPct), "%9.2f")
+	row("LS local", sr.LocalRel, sr.GeoLocal, "%9.4f")
+	row("SB all", sr.SuperRel, sr.GeoSuper, "%9.4f")
+	row("SB filtered", sr.FilteredRel, sr.GeoFiltered, "%9.4f")
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single machine instruction. Defs and Uses carry the register
+// operands; Imm/FImm carry immediates; Target names a branch-target block
+// (B, BC) or a callee function index (BL).
+type Instr struct {
+	Op     Op
+	Defs   []Reg
+	Uses   []Reg
+	Imm    int64
+	FImm   float64
+	Target int
+	// Sym is an optional annotation (callee name, variable name) used
+	// only for printing.
+	Sym string
+}
+
+// NewInstr constructs an instruction with the given defs and uses.
+func NewInstr(op Op, defs, uses []Reg) Instr {
+	return Instr{Op: op, Defs: defs, Uses: uses}
+}
+
+// Clone returns a deep copy of the instruction.
+func (in Instr) Clone() Instr {
+	out := in
+	out.Defs = append([]Reg(nil), in.Defs...)
+	out.Uses = append([]Reg(nil), in.Uses...)
+	return out
+}
+
+// HasImm reports whether the opcode consumes the integer immediate field.
+func (in *Instr) HasImm() bool {
+	switch in.Op {
+	case ADDI, ANDI, ORI, XORI, SLWI, SRAWI, LI, CMPI, LD, ST, LFD, STFD, BC:
+		return true
+	}
+	return false
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	sep := " "
+	for _, d := range in.Defs {
+		b.WriteString(sep)
+		b.WriteString(d.String())
+		sep = ", "
+	}
+	for _, u := range in.Uses {
+		b.WriteString(sep)
+		b.WriteString(u.String())
+		sep = ", "
+	}
+	switch in.Op {
+	case LI, ADDI, ANDI, ORI, XORI, SLWI, SRAWI, CMPI, LD, ST, LFD, STFD:
+		fmt.Fprintf(&b, "%s%d", sep, in.Imm)
+	case LFI:
+		fmt.Fprintf(&b, "%s%g", sep, in.FImm)
+	case B:
+		fmt.Fprintf(&b, "%sb%d", sep, in.Target)
+	case BC:
+		fmt.Fprintf(&b, "%s%s, b%d", sep, CondString(in.Imm), in.Target)
+	case BL:
+		if in.Sym != "" {
+			fmt.Fprintf(&b, "%s%s", sep, in.Sym)
+		} else {
+			fmt.Fprintf(&b, "%sfn%d", sep, in.Target)
+		}
+	}
+	return b.String()
+}
+
+// Block is a basic block: a single-entry, single-exit straight-line
+// instruction sequence. The final instruction is the (sole) branch, except
+// in fall-through blocks, which may end without one.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	// Succs lists successor block IDs within the owning function; for a
+	// BC terminator Succs[0] is the taken target and Succs[1] the
+	// fall-through.
+	Succs []int
+	// LoopHead marks back-edge targets (used for yield-point insertion
+	// and reporting).
+	LoopHead bool
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return len(b.Instrs) }
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	nb := &Block{ID: b.ID, Succs: append([]int(nil), b.Succs...), LoopHead: b.LoopHead}
+	nb.Instrs = make([]Instr, len(b.Instrs))
+	for i := range b.Instrs {
+		nb.Instrs[i] = b.Instrs[i].Clone()
+	}
+	return nb
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d:", b.ID)
+	if b.LoopHead {
+		sb.WriteString(" ; loop head")
+	}
+	sb.WriteString("\n")
+	for i := range b.Instrs {
+		fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+	}
+	return sb.String()
+}
+
+// Fn is a compiled function: an entry block plus a set of basic blocks.
+type Fn struct {
+	Name   string
+	Blocks []*Block
+	// Entry is the index into Blocks of the entry block (always 0 for
+	// JIT-produced code).
+	Entry int
+	// NumIntArgs and NumFloatArgs describe the calling convention the
+	// function expects.
+	NumIntArgs   int
+	NumFloatArgs int
+	// RetFloat reports whether the function returns a float (in
+	// RetFloat) rather than an int (in RetInt).
+	RetFloat bool
+	// FrameSlots is the number of spill slots the function's frame
+	// needs (word units).
+	FrameSlots int
+}
+
+// Clone returns a deep copy of the function.
+func (f *Fn) Clone() *Fn {
+	nf := &Fn{}
+	*nf = *f
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nf.Blocks[i] = b.Clone()
+	}
+	return nf
+}
+
+// NumInstrs returns the total instruction count across all blocks.
+func (f *Fn) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func (f *Fn) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fn %s (ints=%d floats=%d):\n", f.Name, f.NumIntArgs, f.NumFloatArgs)
+	for _, b := range f.Blocks {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// Program is a set of compiled functions plus the entry point.
+type Program struct {
+	Fns []*Fn
+	// Entry is the index of the function execution starts in.
+	Entry int
+	// Globals is the number of global word slots the program uses.
+	Globals int
+}
+
+// FnByName returns the function with the given name, or nil.
+func (p *Program) FnByName(name string) *Fn {
+	for _, f := range p.Fns {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	np := &Program{Entry: p.Entry, Globals: p.Globals}
+	np.Fns = make([]*Fn, len(p.Fns))
+	for i, f := range p.Fns {
+		np.Fns[i] = f.Clone()
+	}
+	return np
+}
+
+// NumBlocks returns the total basic-block count across all functions.
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, f := range p.Fns {
+		n += len(f.Blocks)
+	}
+	return n
+}
+
+// NumInstrs returns the total instruction count across all functions.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Fns {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Fns {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

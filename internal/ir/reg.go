@@ -1,0 +1,125 @@
+// Package ir defines the machine-level intermediate representation the
+// scheduler, feature extractor, and simulator operate on.
+//
+// The IR is PowerPC-flavoured, mirroring the MPC7410 target of Cavazos &
+// Moss (PLDI 2004): general-purpose and floating-point register files, a
+// small set of condition registers written by compare instructions, and an
+// explicit "guard" register class that carries the dependence between a
+// null/bounds check and the memory operation it protects (as in Jikes RVM's
+// guard operands).
+package ir
+
+import "fmt"
+
+// RegClass identifies which register file a Reg belongs to.
+type RegClass uint8
+
+const (
+	// ClassInt is the general-purpose (integer/pointer) register file.
+	ClassInt RegClass = iota
+	// ClassFloat is the floating-point register file.
+	ClassFloat
+	// ClassCond is the condition-register file written by compares and
+	// read by conditional branches.
+	ClassCond
+	// ClassGuard is a virtual-only class: a guard is defined by a
+	// null/bounds check and used by the guarded memory operation. Guards
+	// never survive register allocation as physical state; they exist to
+	// express scheduling dependences.
+	ClassGuard
+)
+
+// Physical register file sizes for the modelled machine.
+const (
+	NumGPR  = 32
+	NumFPR  = 32
+	NumCond = 8
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	case ClassCond:
+		return "cond"
+	case ClassGuard:
+		return "guard"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Reg names a register: a register class plus an index within the class.
+// Indices below the physical file size (NumGPR, NumFPR, NumCond) denote
+// physical registers; larger indices denote virtual registers awaiting
+// allocation. Guards are always virtual.
+type Reg struct {
+	Class RegClass
+	N     int32
+}
+
+// GPR returns the n'th general-purpose register.
+func GPR(n int) Reg { return Reg{ClassInt, int32(n)} }
+
+// FPR returns the n'th floating-point register.
+func FPR(n int) Reg { return Reg{ClassFloat, int32(n)} }
+
+// CR returns the n'th condition register.
+func CR(n int) Reg { return Reg{ClassCond, int32(n)} }
+
+// Guard returns the n'th guard pseudo-register.
+func Guard(n int) Reg { return Reg{ClassGuard, int32(n)} }
+
+// IsPhys reports whether r denotes a physical register of the modelled
+// machine. Guards are never physical.
+func (r Reg) IsPhys() bool {
+	switch r.Class {
+	case ClassInt:
+		return r.N < NumGPR
+	case ClassFloat:
+		return r.N < NumFPR
+	case ClassCond:
+		return r.N < NumCond
+	}
+	return false
+}
+
+func (r Reg) String() string {
+	switch r.Class {
+	case ClassInt:
+		if r.IsPhys() {
+			return fmt.Sprintf("r%d", r.N)
+		}
+		return fmt.Sprintf("vi%d", r.N)
+	case ClassFloat:
+		if r.IsPhys() {
+			return fmt.Sprintf("f%d", r.N)
+		}
+		return fmt.Sprintf("vf%d", r.N)
+	case ClassCond:
+		if r.IsPhys() {
+			return fmt.Sprintf("cr%d", r.N)
+		}
+		return fmt.Sprintf("vc%d", r.N)
+	case ClassGuard:
+		return fmt.Sprintf("g%d", r.N)
+	}
+	return fmt.Sprintf("?%d.%d", r.Class, r.N)
+}
+
+// Conventional register assignments used by the JIT's calling convention.
+var (
+	// RetInt is the integer return-value register (PowerPC r3).
+	RetInt = GPR(3)
+	// RetFloat is the floating-point return-value register (PowerPC f1).
+	RetFloat = FPR(1)
+)
+
+// ArgInt returns the register carrying the i'th integer argument
+// (r3, r4, ... as on PowerPC).
+func ArgInt(i int) Reg { return GPR(3 + i) }
+
+// ArgFloat returns the register carrying the i'th floating-point argument
+// (f1, f2, ...).
+func ArgFloat(i int) Reg { return FPR(1 + i) }

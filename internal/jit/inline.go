@@ -1,0 +1,138 @@
+package jit
+
+import (
+	"fmt"
+
+	"schedfilter/internal/bytecode"
+)
+
+// InlineLimits mirror the paper's aggressive OptOpt inlining settings: a
+// maximum callee size of 30 bytecode instructions, a maximum inlining depth
+// of 6, and an upper bound of 7x on the caller's expansion.
+type InlineLimits struct {
+	MaxCalleeSize int
+	MaxDepth      int
+	MaxExpansion  int
+}
+
+// DefaultInlineLimits are the settings quoted in the paper (section 3.1).
+func DefaultInlineLimits() InlineLimits {
+	return InlineLimits{MaxCalleeSize: 30, MaxDepth: 6, MaxExpansion: 7}
+}
+
+// Inline performs bytecode-level inlining over the whole module, in place,
+// and returns the number of call sites inlined. Each of the MaxDepth
+// passes inlines eligible direct calls (callee small enough, not the
+// caller itself, caller still under its expansion budget), so nested
+// inlining deepens by at most one level per pass.
+func Inline(m *bytecode.Module, lim InlineLimits) int {
+	origSize := make(map[*bytecode.Fn]int, len(m.Fns))
+	for _, f := range m.Fns {
+		origSize[f] = len(f.Code)
+	}
+	total := 0
+	for depth := 0; depth < lim.MaxDepth; depth++ {
+		did := 0
+		for fi, f := range m.Fns {
+			did += inlinePass(m, f, fi, lim, origSize[f])
+		}
+		total += did
+		if did == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// inlinePass inlines eligible call sites in one function, left to right
+// (resuming after each splice), and returns how many were inlined.
+func inlinePass(m *bytecode.Module, f *bytecode.Fn, fi int, lim InlineLimits, origSize int) int {
+	count := 0
+	budget := origSize * lim.MaxExpansion
+	for pc := 0; pc < len(f.Code); pc++ {
+		in := f.Code[pc]
+		if in.Op != bytecode.CALL {
+			continue
+		}
+		callee := m.Fns[in.A]
+		if int(in.A) == fi {
+			continue // no self-inlining
+		}
+		if len(callee.Code) > lim.MaxCalleeSize {
+			continue
+		}
+		if len(f.Code)+len(callee.Code) > budget {
+			continue
+		}
+		splice(f, pc, callee)
+		count++
+		// Continue scanning after the spliced body: calls inside it
+		// belong to the next depth level.
+		pc += len(callee.Code) + len(callee.Params) - 1
+	}
+	return count
+}
+
+// splice replaces the CALL at pc with the callee's body: argument stores
+// into fresh local slots, the remapped body, with returns rewritten to
+// jumps past the splice.
+func splice(f *bytecode.Fn, pc int, callee *bytecode.Fn) {
+	base := int32(len(f.Locals))
+	f.Locals = append(f.Locals, callee.Locals...)
+
+	np := len(callee.Params)
+	var body []bytecode.Insn
+	// Arguments are on the stack, last on top: pop them into the
+	// callee's parameter slots in reverse.
+	for i := np - 1; i >= 0; i-- {
+		op := bytecode.ISTORE
+		if callee.Params[i] == bytecode.TFloat {
+			op = bytecode.FSTORE
+		}
+		body = append(body, bytecode.Insn{Op: op, A: base + int32(i)})
+	}
+	argLen := len(body)
+	// endPC is the first instruction after the splice (in final
+	// coordinates): pc + len(spliced body).
+	spliceLen := argLen + len(callee.Code)
+	endPC := pc + spliceLen
+
+	for _, in := range callee.Code {
+		switch {
+		case in.Op == bytecode.ILOAD, in.Op == bytecode.FLOAD,
+			in.Op == bytecode.ISTORE, in.Op == bytecode.FSTORE:
+			in.A += base
+		case in.Op.IsBranch():
+			in.A += int32(pc + argLen)
+		case in.Op == bytecode.RET:
+			in = bytecode.Insn{Op: bytecode.GOTO, A: int32(endPC)}
+		case in.Op == bytecode.IRET, in.Op == bytecode.FRET:
+			// The return value is already on the stack.
+			in = bytecode.Insn{Op: bytecode.GOTO, A: int32(endPC)}
+		}
+		body = append(body, in)
+	}
+
+	// The splice replaces 1 instruction with spliceLen instructions:
+	// rebase every branch target beyond pc.
+	delta := int32(spliceLen - 1)
+	for i := range f.Code {
+		if f.Code[i].Op.IsBranch() && int(f.Code[i].A) > pc {
+			f.Code[i].A += delta
+		}
+	}
+	out := make([]bytecode.Insn, 0, len(f.Code)+spliceLen-1)
+	out = append(out, f.Code[:pc]...)
+	out = append(out, body...)
+	out = append(out, f.Code[pc+1:]...)
+	f.Code = out
+}
+
+// validateAfterInline re-verifies the module; inlining bugs surface here
+// rather than as bad machine code.
+func validateAfterInline(m *bytecode.Module) error {
+	if err := bytecode.Verify(m); err != nil {
+		return fmt.Errorf("jit: module invalid after inlining: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package jit
+
+import (
+	"fmt"
+
+	"schedfilter/internal/bytecode"
+	"schedfilter/internal/ir"
+)
+
+// Options configure a compilation.
+type Options struct {
+	// Inline enables the bytecode inliner.
+	Inline bool
+	// InlineLimits applies when Inline is set; zero value means
+	// DefaultInlineLimits.
+	InlineLimits InlineLimits
+	// Peephole enables post-allocation copy propagation and dead-copy
+	// elimination. Off by default: the headline experiments measure the
+	// straightforward lowering.
+	Peephole bool
+}
+
+// DefaultOptions mirror the paper's OptOpt configuration with aggressive
+// inlining.
+func DefaultOptions() Options {
+	return Options{Inline: true, InlineLimits: DefaultInlineLimits()}
+}
+
+// Compile translates a verified bytecode module into machine IR. The
+// resulting program has physical registers everywhere (except scheduling
+// guards) and is ready for the scheduling protocols and the simulator.
+func Compile(mod *bytecode.Module, opts Options) (*ir.Program, error) {
+	if err := bytecode.Verify(mod); err != nil {
+		return nil, fmt.Errorf("jit: input module invalid: %w", err)
+	}
+	work := mod.Clone()
+	if opts.Inline {
+		lim := opts.InlineLimits
+		if lim.MaxCalleeSize == 0 {
+			lim = DefaultInlineLimits()
+		}
+		Inline(work, lim)
+		if err := validateAfterInline(work); err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &ir.Program{Globals: len(work.Globals)}
+	for _, f := range work.Fns {
+		blocks := buildCFG(f)
+		shapes, err := bytecode.StackShapes(work, f)
+		if err != nil {
+			return nil, fmt.Errorf("jit: %s: %w", f.Name, err)
+		}
+		mfn, err := lowerFn(work, f, blocks, shapes)
+		if err != nil {
+			return nil, err
+		}
+		if err := Allocate(mfn); err != nil {
+			return nil, err
+		}
+		prog.Fns = append(prog.Fns, mfn)
+	}
+	entry, err := work.Main()
+	if err != nil {
+		return nil, err
+	}
+	prog.Entry = entry
+	if opts.Peephole {
+		Peephole(prog)
+	}
+	return prog, nil
+}

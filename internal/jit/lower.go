@@ -1,0 +1,540 @@
+package jit
+
+import (
+	"fmt"
+
+	"schedfilter/internal/bytecode"
+	"schedfilter/internal/ir"
+)
+
+// Reserved physical registers (the lowering ABI):
+//
+//	r1  — stack pointer (spill frames; adjusted by the call protocol)
+//	r2  — global area base (set once at program start)
+//	r3… — integer argument/return registers (ArgInt)
+//	f1… — float argument/return registers (ArgFloat)
+//
+// The runtime's call protocol ("magic ABI", documented in internal/sim)
+// saves and restores all registers across a call except the return-value
+// registers, so the allocator may keep values live across calls.
+var (
+	regSP      = ir.GPR(1)
+	regGlobals = ir.GPR(2)
+)
+
+// MaxArgs is the maximum number of same-class arguments passed in
+// registers; the Jolt workloads stay within it.
+const MaxArgs = 8
+
+// lowerer lowers one bytecode function to machine IR.
+type lowerer struct {
+	m   *bytecode.Module
+	f   *bytecode.Fn
+	out *ir.Fn
+
+	nextInt   int32 // next virtual int register
+	nextFloat int32
+	nextCond  int32
+	nextGuard int32
+
+	// localReg maps a bytecode local slot to its dedicated vreg.
+	localReg []ir.Reg
+
+	// stack is the symbolic operand stack of the block being lowered.
+	stack []stackVal
+
+	cur *ir.Block
+}
+
+// stackVal is one symbolic operand-stack entry.
+type stackVal struct {
+	reg ir.Reg
+	// fromLocal >= 0 means the entry is a lazy reference to that local
+	// slot's register (invalidated when the local is stored to).
+	fromLocal int32
+}
+
+func (lo *lowerer) newInt() ir.Reg {
+	lo.nextInt++
+	return ir.Reg{Class: ir.ClassInt, N: ir.NumGPR - 1 + lo.nextInt}
+}
+
+func (lo *lowerer) newFloat() ir.Reg {
+	lo.nextFloat++
+	return ir.Reg{Class: ir.ClassFloat, N: ir.NumFPR - 1 + lo.nextFloat}
+}
+
+func (lo *lowerer) newCond() ir.Reg {
+	lo.nextCond++
+	return ir.Reg{Class: ir.ClassCond, N: ir.NumCond - 1 + lo.nextCond}
+}
+
+func (lo *lowerer) newGuard() ir.Reg {
+	lo.nextGuard++
+	return ir.Guard(int(lo.nextGuard) - 1)
+}
+
+func (lo *lowerer) emit(in ir.Instr) {
+	lo.cur.Instrs = append(lo.cur.Instrs, in)
+}
+
+func isFloatCell(t bytecode.Type) bool { return t == bytecode.TFloat }
+
+// canonStack returns the canonical register for operand-stack position
+// depth with the given class — the register block boundaries use.
+// Canonical stack registers are drawn from a reserved band of virtual
+// numbers so they never collide with temps.
+func (lo *lowerer) canonStack(depth int, float bool) ir.Reg {
+	if float {
+		return ir.Reg{Class: ir.ClassFloat, N: 1_000_000 + int32(depth)}
+	}
+	return ir.Reg{Class: ir.ClassInt, N: 1_000_000 + int32(depth)}
+}
+
+func (lo *lowerer) push(r ir.Reg) {
+	lo.stack = append(lo.stack, stackVal{reg: r, fromLocal: -1})
+}
+
+func (lo *lowerer) pushLocal(slot int32) {
+	lo.stack = append(lo.stack, stackVal{reg: lo.localReg[slot], fromLocal: slot})
+}
+
+func (lo *lowerer) pop() ir.Reg {
+	v := lo.stack[len(lo.stack)-1]
+	lo.stack = lo.stack[:len(lo.stack)-1]
+	return v.reg
+}
+
+// invalidateLocal copies any stack entries lazily referring to slot into
+// fresh temporaries before the local is overwritten.
+func (lo *lowerer) invalidateLocal(slot int32) {
+	for i := range lo.stack {
+		if lo.stack[i].fromLocal == slot {
+			src := lo.stack[i].reg
+			var t ir.Reg
+			var op ir.Op
+			if src.Class == ir.ClassFloat {
+				t, op = lo.newFloat(), ir.FMR
+			} else {
+				t, op = lo.newInt(), ir.MR
+			}
+			lo.emit(ir.Instr{Op: op, Defs: []ir.Reg{t}, Uses: []ir.Reg{src}})
+			lo.stack[i] = stackVal{reg: t, fromLocal: -1}
+		}
+	}
+}
+
+// materializeStack moves every remaining symbolic entry into its canonical
+// stack register, so successor blocks find values where they expect them.
+func (lo *lowerer) materializeStack() {
+	for i := range lo.stack {
+		v := lo.stack[i]
+		canon := lo.canonStack(i, v.reg.Class == ir.ClassFloat)
+		if v.reg == canon {
+			continue
+		}
+		op := ir.MR
+		if v.reg.Class == ir.ClassFloat {
+			op = ir.FMR
+		}
+		lo.emit(ir.Instr{Op: op, Defs: []ir.Reg{canon}, Uses: []ir.Reg{v.reg}})
+		lo.stack[i] = stackVal{reg: canon, fromLocal: -1}
+	}
+}
+
+// lowerFn lowers one function. blocks is its bytecode CFG; shapes the
+// per-leader entry stack types.
+func lowerFn(m *bytecode.Module, f *bytecode.Fn, blocks []bbRange, shapes map[int][]bytecode.Type) (*ir.Fn, error) {
+	lo := &lowerer{m: m, f: f}
+	nInt, nFloat := 0, 0
+	for _, p := range f.Params {
+		if isFloatCell(p) {
+			nFloat++
+		} else {
+			nInt++
+		}
+	}
+	if nInt > MaxArgs || nFloat > MaxArgs {
+		return nil, fmt.Errorf("jit: %s: too many arguments (max %d per class)", f.Name, MaxArgs)
+	}
+	lo.out = &ir.Fn{
+		Name:         f.Name,
+		NumIntArgs:   nInt,
+		NumFloatArgs: nFloat,
+		RetFloat:     f.Ret == bytecode.TFloat,
+	}
+
+	// Dedicated vreg per local slot.
+	lo.localReg = make([]ir.Reg, len(f.Locals))
+	for i, t := range f.Locals {
+		if isFloatCell(t) {
+			lo.localReg[i] = lo.newFloat()
+		} else {
+			lo.localReg[i] = lo.newInt()
+		}
+	}
+
+	for bi := range blocks {
+		bb := &blocks[bi]
+		lo.cur = &ir.Block{ID: bi, LoopHead: bb.LoopHead}
+		lo.out.Blocks = append(lo.out.Blocks, lo.cur)
+
+		// Hazard points: thread-switch point in the prologue, yield
+		// point at every loop head (back-edge target), as in Jikes RVM.
+		if bi == 0 {
+			lo.emit(ir.Instr{Op: ir.TSPOINT})
+			lo.emitParamMoves(f)
+		}
+		if bb.LoopHead {
+			lo.emit(ir.Instr{Op: ir.YIELDPOINT})
+		}
+
+		// Entry stack: canonical registers per the verified shape.
+		shape, reachable := shapes[bb.Start]
+		if !reachable && bi != 0 {
+			// Unreachable block (dead code after a return): emit a
+			// self-loop placeholder so block IDs stay dense; it can
+			// never execute.
+			lo.emit(ir.Instr{Op: ir.B, Target: bi})
+			lo.cur.Succs = []int{bi}
+			continue
+		}
+		lo.stack = lo.stack[:0]
+		for d, t := range shape {
+			lo.push(lo.canonStack(d, isFloatCell(t)))
+		}
+
+		if err := lo.lowerRange(f, bb, blocks); err != nil {
+			return nil, err
+		}
+		lo.cur.Succs = append([]int(nil), bb.Succs...)
+	}
+	return lo.out, nil
+}
+
+// emitParamMoves copies ABI argument registers into the parameter locals.
+func (lo *lowerer) emitParamMoves(f *bytecode.Fn) {
+	iIdx, fIdx := 0, 0
+	for slot, t := range f.Params {
+		if isFloatCell(t) {
+			lo.emit(ir.Instr{Op: ir.FMR, Defs: []ir.Reg{lo.localReg[slot]}, Uses: []ir.Reg{ir.ArgFloat(fIdx)}})
+			fIdx++
+		} else {
+			lo.emit(ir.Instr{Op: ir.MR, Defs: []ir.Reg{lo.localReg[slot]}, Uses: []ir.Reg{ir.ArgInt(iIdx)}})
+			iIdx++
+		}
+	}
+}
+
+// lowerRange lowers the instructions of one bytecode block.
+func (lo *lowerer) lowerRange(f *bytecode.Fn, bb *bbRange, blocks []bbRange) error {
+	blockAt := func(pc int) int {
+		for i := range blocks {
+			if blocks[i].Start == pc {
+				return i
+			}
+		}
+		return -1
+	}
+	for pc := bb.Start; pc < bb.End; pc++ {
+		in := f.Code[pc]
+		switch in.Op {
+		case bytecode.NOP:
+		case bytecode.ICONST:
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.LI, Defs: []ir.Reg{t}, Imm: in.I})
+			lo.push(t)
+		case bytecode.FCONST:
+			t := lo.newFloat()
+			lo.emit(ir.Instr{Op: ir.LFI, Defs: []ir.Reg{t}, FImm: in.F})
+			lo.push(t)
+		case bytecode.ILOAD, bytecode.FLOAD:
+			lo.pushLocal(in.A)
+		case bytecode.ISTORE, bytecode.FSTORE:
+			v := lo.pop()
+			lo.invalidateLocal(in.A)
+			op := ir.MR
+			if in.Op == bytecode.FSTORE {
+				op = ir.FMR
+			}
+			lo.emit(ir.Instr{Op: op, Defs: []ir.Reg{lo.localReg[in.A]}, Uses: []ir.Reg{v}})
+		case bytecode.GILOAD:
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.LD, Defs: []ir.Reg{t}, Uses: []ir.Reg{regGlobals}, Imm: int64(in.A)})
+			lo.push(t)
+		case bytecode.GFLOAD:
+			t := lo.newFloat()
+			lo.emit(ir.Instr{Op: ir.LFD, Defs: []ir.Reg{t}, Uses: []ir.Reg{regGlobals}, Imm: int64(in.A)})
+			lo.push(t)
+		case bytecode.GISTORE:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.ST, Uses: []ir.Reg{v, regGlobals}, Imm: int64(in.A)})
+		case bytecode.GFSTORE:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.STFD, Uses: []ir.Reg{v, regGlobals}, Imm: int64(in.A)})
+		case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IDIV,
+			bytecode.IAND, bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR:
+			b := lo.pop()
+			a := lo.pop()
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: intALUOp(in.Op), Defs: []ir.Reg{t}, Uses: []ir.Reg{a, b}})
+			lo.push(t)
+		case bytecode.IREM:
+			// a % b  →  q = a/b; m = q*b; r = a-m  (PowerPC has no
+			// remainder instruction).
+			b := lo.pop()
+			a := lo.pop()
+			q := lo.newInt()
+			mv := lo.newInt()
+			r := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.DIVW, Defs: []ir.Reg{q}, Uses: []ir.Reg{a, b}})
+			lo.emit(ir.Instr{Op: ir.MULL, Defs: []ir.Reg{mv}, Uses: []ir.Reg{q, b}})
+			lo.emit(ir.Instr{Op: ir.SUB, Defs: []ir.Reg{r}, Uses: []ir.Reg{a, mv}})
+			lo.push(r)
+		case bytecode.INEG:
+			a := lo.pop()
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.NEG, Defs: []ir.Reg{t}, Uses: []ir.Reg{a}})
+			lo.push(t)
+		case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+			b := lo.pop()
+			a := lo.pop()
+			t := lo.newFloat()
+			lo.emit(ir.Instr{Op: floatALUOp(in.Op), Defs: []ir.Reg{t}, Uses: []ir.Reg{a, b}})
+			lo.push(t)
+		case bytecode.FNEG:
+			a := lo.pop()
+			t := lo.newFloat()
+			lo.emit(ir.Instr{Op: ir.FNEG, Defs: []ir.Reg{t}, Uses: []ir.Reg{a}})
+			lo.push(t)
+		case bytecode.I2F:
+			a := lo.pop()
+			t := lo.newFloat()
+			lo.emit(ir.Instr{Op: ir.I2F, Defs: []ir.Reg{t}, Uses: []ir.Reg{a}})
+			lo.push(t)
+		case bytecode.F2I:
+			a := lo.pop()
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.F2I, Defs: []ir.Reg{t}, Uses: []ir.Reg{a}})
+			lo.push(t)
+		case bytecode.GOTO:
+			lo.materializeStack()
+			lo.emit(ir.Instr{Op: ir.B, Target: blockAt(int(in.A))})
+		case bytecode.IFICMPLT, bytecode.IFICMPGT, bytecode.IFICMPEQ,
+			bytecode.IFICMPNE, bytecode.IFICMPLE, bytecode.IFICMPGE:
+			b := lo.pop()
+			a := lo.pop()
+			cr := lo.newCond()
+			lo.emit(ir.Instr{Op: ir.CMP, Defs: []ir.Reg{cr}, Uses: []ir.Reg{a, b}})
+			lo.materializeStack()
+			lo.emit(ir.Instr{Op: ir.BC, Uses: []ir.Reg{cr}, Imm: condCode(in.Op), Target: blockAt(int(in.A))})
+		case bytecode.IFFCMPLT, bytecode.IFFCMPGT, bytecode.IFFCMPEQ,
+			bytecode.IFFCMPNE, bytecode.IFFCMPLE, bytecode.IFFCMPGE:
+			b := lo.pop()
+			a := lo.pop()
+			cr := lo.newCond()
+			lo.emit(ir.Instr{Op: ir.FCMP, Defs: []ir.Reg{cr}, Uses: []ir.Reg{a, b}})
+			lo.materializeStack()
+			lo.emit(ir.Instr{Op: ir.BC, Uses: []ir.Reg{cr}, Imm: condCode(in.Op), Target: blockAt(int(in.A))})
+		case bytecode.CALL:
+			if err := lo.lowerCall(in); err != nil {
+				return err
+			}
+		case bytecode.RET:
+			lo.emit(ir.Instr{Op: ir.BLR})
+		case bytecode.IRET:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.MR, Defs: []ir.Reg{ir.RetInt}, Uses: []ir.Reg{v}})
+			lo.emit(ir.Instr{Op: ir.BLR, Uses: []ir.Reg{ir.RetInt}})
+		case bytecode.FRET:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.FMR, Defs: []ir.Reg{ir.RetFloat}, Uses: []ir.Reg{v}})
+			lo.emit(ir.Instr{Op: ir.BLR, Uses: []ir.Reg{ir.RetFloat}})
+		case bytecode.NEWARRI, bytecode.NEWARRF:
+			n := lo.pop()
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.ALLOC, Defs: []ir.Reg{t}, Uses: []ir.Reg{n}})
+			lo.push(t)
+		case bytecode.IALOAD, bytecode.FALOAD:
+			idx := lo.pop()
+			ref := lo.pop()
+			dst := lo.arrayLoad(in.Op == bytecode.FALOAD, ref, idx)
+			lo.push(dst)
+		case bytecode.IASTORE, bytecode.FASTORE:
+			v := lo.pop()
+			idx := lo.pop()
+			ref := lo.pop()
+			lo.arrayStore(in.Op == bytecode.FASTORE, ref, idx, v)
+		case bytecode.ALEN:
+			ref := lo.pop()
+			g := lo.newGuard()
+			lo.emit(ir.Instr{Op: ir.NULLCHECK, Defs: []ir.Reg{g}, Uses: []ir.Reg{ref}})
+			t := lo.newInt()
+			lo.emit(ir.Instr{Op: ir.LD, Defs: []ir.Reg{t}, Uses: []ir.Reg{ref, g}, Imm: 0})
+			lo.push(t)
+		case bytecode.POP, bytecode.FPOP:
+			lo.pop()
+		case bytecode.DUP, bytecode.FDUP:
+			top := lo.stack[len(lo.stack)-1]
+			lo.stack = append(lo.stack, top)
+		case bytecode.PRINTI:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.RTPRINTI, Uses: []ir.Reg{v}})
+		case bytecode.PRINTF:
+			v := lo.pop()
+			lo.emit(ir.Instr{Op: ir.RTPRINTF, Uses: []ir.Reg{v}})
+		default:
+			return fmt.Errorf("jit: cannot lower %v", in.Op)
+		}
+	}
+	// Pure fall-through block: materialize and branch explicitly so
+	// every machine block ends in a branch.
+	last := f.Code[bb.End-1]
+	if !last.Op.IsBranch() && !last.Op.IsTerminator() {
+		lo.materializeStack()
+		lo.emit(ir.Instr{Op: ir.B, Target: blockAt(bb.End)})
+	}
+	return nil
+}
+
+// arrayLoad emits null check, length load, bounds check, address
+// computation, and the guarded element load; returns the destination.
+func (lo *lowerer) arrayLoad(isFloat bool, ref, idx ir.Reg) ir.Reg {
+	g1 := lo.newGuard()
+	lo.emit(ir.Instr{Op: ir.NULLCHECK, Defs: []ir.Reg{g1}, Uses: []ir.Reg{ref}})
+	length := lo.newInt()
+	lo.emit(ir.Instr{Op: ir.LD, Defs: []ir.Reg{length}, Uses: []ir.Reg{ref, g1}, Imm: 0})
+	g2 := lo.newGuard()
+	lo.emit(ir.Instr{Op: ir.BOUNDSCHECK, Defs: []ir.Reg{g2}, Uses: []ir.Reg{idx, length}})
+	addr := lo.newInt()
+	lo.emit(ir.Instr{Op: ir.ADDI, Defs: []ir.Reg{addr}, Uses: []ir.Reg{idx}, Imm: 1})
+	var dst ir.Reg
+	if isFloat {
+		dst = lo.newFloat()
+		lo.emit(ir.Instr{Op: ir.LFDX, Defs: []ir.Reg{dst}, Uses: []ir.Reg{ref, addr, g2}})
+	} else {
+		dst = lo.newInt()
+		lo.emit(ir.Instr{Op: ir.LDX, Defs: []ir.Reg{dst}, Uses: []ir.Reg{ref, addr, g2}})
+	}
+	return dst
+}
+
+// arrayStore is the store-side counterpart of arrayLoad.
+func (lo *lowerer) arrayStore(isFloat bool, ref, idx, v ir.Reg) {
+	g1 := lo.newGuard()
+	lo.emit(ir.Instr{Op: ir.NULLCHECK, Defs: []ir.Reg{g1}, Uses: []ir.Reg{ref}})
+	length := lo.newInt()
+	lo.emit(ir.Instr{Op: ir.LD, Defs: []ir.Reg{length}, Uses: []ir.Reg{ref, g1}, Imm: 0})
+	g2 := lo.newGuard()
+	lo.emit(ir.Instr{Op: ir.BOUNDSCHECK, Defs: []ir.Reg{g2}, Uses: []ir.Reg{idx, length}})
+	addr := lo.newInt()
+	lo.emit(ir.Instr{Op: ir.ADDI, Defs: []ir.Reg{addr}, Uses: []ir.Reg{idx}, Imm: 1})
+	if isFloat {
+		lo.emit(ir.Instr{Op: ir.STFX, Uses: []ir.Reg{v, ref, addr, g2}})
+	} else {
+		lo.emit(ir.Instr{Op: ir.STX, Uses: []ir.Reg{v, ref, addr, g2}})
+	}
+}
+
+// lowerCall moves arguments into ABI registers, emits the call, and
+// captures the return value.
+func (lo *lowerer) lowerCall(in bytecode.Insn) error {
+	callee := lo.m.Fns[in.A]
+	np := len(callee.Params)
+	args := make([]ir.Reg, np)
+	for i := np - 1; i >= 0; i-- {
+		args[i] = lo.pop()
+	}
+	iIdx, fIdx := 0, 0
+	var abiUses []ir.Reg
+	for i, t := range callee.Params {
+		if isFloatCell(t) {
+			dst := ir.ArgFloat(fIdx)
+			fIdx++
+			lo.emit(ir.Instr{Op: ir.FMR, Defs: []ir.Reg{dst}, Uses: []ir.Reg{args[i]}})
+			abiUses = append(abiUses, dst)
+		} else {
+			dst := ir.ArgInt(iIdx)
+			iIdx++
+			lo.emit(ir.Instr{Op: ir.MR, Defs: []ir.Reg{dst}, Uses: []ir.Reg{args[i]}})
+			abiUses = append(abiUses, dst)
+		}
+	}
+	if iIdx > MaxArgs || fIdx > MaxArgs {
+		return fmt.Errorf("jit: call to %s: too many arguments", callee.Name)
+	}
+	call := ir.Instr{Op: ir.BL, Target: int(in.A), Sym: callee.Name, Uses: abiUses}
+	switch callee.Ret {
+	case bytecode.TVoid:
+		lo.emit(call)
+	case bytecode.TFloat:
+		call.Defs = []ir.Reg{ir.RetFloat}
+		lo.emit(call)
+		t := lo.newFloat()
+		lo.emit(ir.Instr{Op: ir.FMR, Defs: []ir.Reg{t}, Uses: []ir.Reg{ir.RetFloat}})
+		lo.push(t)
+	default:
+		call.Defs = []ir.Reg{ir.RetInt}
+		lo.emit(call)
+		t := lo.newInt()
+		lo.emit(ir.Instr{Op: ir.MR, Defs: []ir.Reg{t}, Uses: []ir.Reg{ir.RetInt}})
+		lo.push(t)
+	}
+	return nil
+}
+
+func intALUOp(op bytecode.Op) ir.Op {
+	switch op {
+	case bytecode.IADD:
+		return ir.ADD
+	case bytecode.ISUB:
+		return ir.SUB
+	case bytecode.IMUL:
+		return ir.MULL
+	case bytecode.IDIV:
+		return ir.DIVW
+	case bytecode.IAND:
+		return ir.AND
+	case bytecode.IOR:
+		return ir.OR
+	case bytecode.IXOR:
+		return ir.XOR
+	case bytecode.ISHL:
+		return ir.SLW
+	case bytecode.ISHR:
+		return ir.SRAW
+	}
+	panic("jit: not an int ALU op")
+}
+
+func floatALUOp(op bytecode.Op) ir.Op {
+	switch op {
+	case bytecode.FADD:
+		return ir.FADD
+	case bytecode.FSUB:
+		return ir.FSUB
+	case bytecode.FMUL:
+		return ir.FMUL
+	case bytecode.FDIV:
+		return ir.FDIV
+	}
+	panic("jit: not a float ALU op")
+}
+
+func condCode(op bytecode.Op) int64 {
+	switch op {
+	case bytecode.IFICMPLT, bytecode.IFFCMPLT:
+		return ir.CondLT
+	case bytecode.IFICMPGT, bytecode.IFFCMPGT:
+		return ir.CondGT
+	case bytecode.IFICMPEQ, bytecode.IFFCMPEQ:
+		return ir.CondEQ
+	case bytecode.IFICMPNE, bytecode.IFFCMPNE:
+		return ir.CondNE
+	case bytecode.IFICMPLE, bytecode.IFFCMPLE:
+		return ir.CondLE
+	case bytecode.IFICMPGE, bytecode.IFFCMPGE:
+		return ir.CondGE
+	}
+	panic("jit: not a compare branch")
+}

@@ -1,0 +1,112 @@
+package jit
+
+import (
+	"schedfilter/internal/ir"
+	"schedfilter/internal/sched"
+)
+
+// Peephole cleanup over allocated machine code: within each block,
+// register-copy propagation replaces uses of a copied value with its
+// source, and copies whose destination is dead (not used before being
+// redefined, and not live out of the block) are removed. The stack-JIT
+// lowering emits plenty of MR/FMR shuffles; this pass removes most of
+// them, shrinking blocks without changing behaviour.
+//
+// The pass is optional (Options.Peephole): the headline experiments run
+// without it, matching the straightforward lowering a baseline optimizing
+// JIT would ship, and its effect is covered by dedicated tests.
+
+// Peephole optimizes the program in place and returns the number of
+// instructions removed.
+func Peephole(p *ir.Program) int {
+	removed := 0
+	for _, fn := range p.Fns {
+		_, liveOut := sched.Liveness(fn)
+		for bi, b := range fn.Blocks {
+			removed += peepholeBlock(b, liveOut[bi])
+		}
+	}
+	return removed
+}
+
+// copyInfo tracks an active intra-block copy: dst currently holds src.
+type copyInfo struct {
+	src ir.Reg
+}
+
+func peepholeBlock(b *ir.Block, liveOut sched.RegSet) int {
+	// Pass 1: copy propagation. Active copies are invalidated when
+	// either side is redefined.
+	active := map[ir.Reg]copyInfo{}
+	invalidate := func(r ir.Reg) {
+		delete(active, r)
+		for dst, ci := range active {
+			if ci.src == r {
+				delete(active, dst)
+			}
+		}
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		// BL/BLR operands are the calling convention itself (the callee
+		// reads the physical argument registers); they must never be
+		// rewritten to the copy's source.
+		if in.Op != ir.BL && in.Op != ir.BLR {
+			for ui, u := range in.Uses {
+				if ci, ok := active[u]; ok {
+					in.Uses[ui] = ci.src
+				}
+			}
+		}
+		isCopy := (in.Op == ir.MR || in.Op == ir.FMR) &&
+			len(in.Defs) == 1 && len(in.Uses) == 1 && in.Defs[0] != in.Uses[0]
+		for _, d := range in.Defs {
+			invalidate(d)
+		}
+		if isCopy {
+			active[in.Defs[0]] = copyInfo{src: in.Uses[0]}
+		}
+	}
+
+	// Pass 2: dead-copy elimination. A copy (or self-move) may go if its
+	// destination is redefined before any use and is not live out.
+	removed := 0
+	out := b.Instrs[:0]
+	for i := range b.Instrs {
+		in := b.Instrs[i]
+		if (in.Op == ir.MR || in.Op == ir.FMR) && len(in.Defs) == 1 {
+			dst := in.Defs[0]
+			if len(in.Uses) == 1 && in.Uses[0] == dst {
+				removed++ // self-move
+				continue
+			}
+			if copyDeadAfter(b, i, dst, liveOut) {
+				removed++
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+	return removed
+}
+
+// copyDeadAfter reports whether dst's value set at position i is never
+// read later in the block and is either redefined before the block ends
+// or not live out.
+func copyDeadAfter(b *ir.Block, i int, dst ir.Reg, liveOut sched.RegSet) bool {
+	for j := i + 1; j < len(b.Instrs); j++ {
+		in := &b.Instrs[j]
+		for _, u := range in.Uses {
+			if u == dst {
+				return false
+			}
+		}
+		for _, d := range in.Defs {
+			if d == dst {
+				return true // redefined before any use
+			}
+		}
+	}
+	return !liveOut.Has(dst)
+}

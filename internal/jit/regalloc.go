@@ -1,0 +1,323 @@
+package jit
+
+import (
+	"fmt"
+	"sort"
+
+	"schedfilter/internal/ir"
+)
+
+// Allocatable register pools. ABI registers (r1 SP, r2 globals, r3-r10 and
+// f1-f8 argument/return) and the spill scratch band (r29-r31, f29-f31) are
+// excluded; the allocator never touches them.
+var (
+	intPool   = poolRange(ir.ClassInt, 14, 28)
+	floatPool = poolRange(ir.ClassFloat, 14, 28)
+	condPool  = poolRange(ir.ClassCond, 0, 7)
+
+	intScratch   = []ir.Reg{ir.GPR(29), ir.GPR(30), ir.GPR(31)}
+	floatScratch = []ir.Reg{ir.FPR(29), ir.FPR(30), ir.FPR(31)}
+)
+
+func poolRange(c ir.RegClass, lo, hi int) []ir.Reg {
+	var out []ir.Reg
+	for i := lo; i <= hi; i++ {
+		out = append(out, ir.Reg{Class: c, N: int32(i)})
+	}
+	return out
+}
+
+// interval is the conservative live range of one virtual register over the
+// linearized function: from its first occurrence to its last, which safely
+// covers loop-carried liveness.
+type interval struct {
+	vreg       ir.Reg
+	start, end int
+	spilled    bool
+	phys       ir.Reg
+	slot       int // spill slot when spilled
+}
+
+// Allocate rewrites fn in place, mapping virtual int/float/cond registers
+// to physical ones and inserting spill code (frame loads/stores via the
+// stack pointer) where the pools do not suffice. Guard registers are left
+// virtual: they carry scheduling dependences, not machine state.
+func Allocate(fn *ir.Fn) error {
+	firstLast := map[ir.Reg]*interval{}
+	// exposedUses[r] lists positions where r is read without a
+	// same-block def earlier — the uses that may read a value carried
+	// around a loop back edge.
+	exposedUses := map[ir.Reg][]int{}
+	blockStart := make([]int, len(fn.Blocks))
+	type backEdge struct{ head, branch int } // positions [head, branch]
+	var backEdges []backEdge
+
+	pos := 0
+	for bi, b := range fn.Blocks {
+		blockStart[bi] = pos
+		localDefs := map[ir.Reg]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			touch := func(r ir.Reg) *interval {
+				iv, ok := firstLast[r]
+				if !ok {
+					iv = &interval{vreg: r, start: pos, end: pos}
+					firstLast[r] = iv
+				}
+				iv.end = pos
+				return iv
+			}
+			for _, r := range in.Uses {
+				if r.IsPhys() || r.Class == ir.ClassGuard {
+					continue
+				}
+				touch(r)
+				if !localDefs[r] {
+					exposedUses[r] = append(exposedUses[r], pos)
+				}
+			}
+			for _, r := range in.Defs {
+				if r.IsPhys() || r.Class == ir.ClassGuard {
+					continue
+				}
+				touch(r)
+				localDefs[r] = true
+			}
+			pos++
+		}
+	}
+	// Record back edges (branches to blocks at or before their own
+	// position in code order).
+	pos = 0
+	for bi, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if (in.Op == ir.B || in.Op == ir.BC) && in.Target <= bi {
+				backEdges = append(backEdges, backEdge{head: blockStart[in.Target], branch: pos})
+			}
+			pos++
+		}
+	}
+	// Loop-carried liveness: a value read by an exposed use inside a
+	// loop may have been produced in the previous iteration, so its
+	// interval must survive to the back edge.
+	for r, uses := range exposedUses {
+		iv := firstLast[r]
+		for _, e := range backEdges {
+			for _, u := range uses {
+				if u >= e.head && u <= e.branch && iv.end < e.branch {
+					iv.end = e.branch
+				}
+			}
+		}
+	}
+
+	intervals := make([]*interval, 0, len(firstLast))
+	for _, iv := range firstLast {
+		intervals = append(intervals, iv)
+	}
+	sort.Slice(intervals, func(a, b int) bool {
+		if intervals[a].start != intervals[b].start {
+			return intervals[a].start < intervals[b].start
+		}
+		return lessReg(intervals[a].vreg, intervals[b].vreg)
+	})
+
+	nextSlot := 0
+	for _, class := range []ir.RegClass{ir.ClassInt, ir.ClassFloat, ir.ClassCond} {
+		var pool []ir.Reg
+		switch class {
+		case ir.ClassInt:
+			pool = intPool
+		case ir.ClassFloat:
+			pool = floatPool
+		case ir.ClassCond:
+			pool = condPool
+		}
+		if err := allocateClass(intervals, class, pool, &nextSlot); err != nil {
+			return fmt.Errorf("jit: %s: %w", fn.Name, err)
+		}
+	}
+	fn.FrameSlots = nextSlot
+
+	assign := make(map[ir.Reg]*interval, len(intervals))
+	for _, iv := range intervals {
+		assign[iv.vreg] = iv
+	}
+	return rewrite(fn, assign)
+}
+
+func lessReg(a, b ir.Reg) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.N < b.N
+}
+
+// allocateClass runs linear scan for one register class.
+func allocateClass(all []*interval, class ir.RegClass, pool []ir.Reg, nextSlot *int) error {
+	var intervals []*interval
+	for _, iv := range all {
+		if iv.vreg.Class == class {
+			intervals = append(intervals, iv)
+		}
+	}
+	free := append([]ir.Reg(nil), pool...)
+	var active []*interval // sorted by end
+
+	expire := func(start int) {
+		keep := active[:0]
+		for _, a := range active {
+			if a.end < start {
+				free = append(free, a.phys)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+	}
+
+	for _, iv := range intervals {
+		expire(iv.start)
+		if len(free) > 0 {
+			iv.phys = free[len(free)-1]
+			free = free[:len(free)-1]
+			active = append(active, iv)
+			sort.Slice(active, func(a, b int) bool { return active[a].end < active[b].end })
+			continue
+		}
+		// Spill the interval that ends furthest away.
+		victim := active[len(active)-1]
+		if victim.end > iv.end {
+			iv.phys = victim.phys
+			victim.spilled = true
+			victim.slot = *nextSlot
+			*nextSlot++
+			active[len(active)-1] = iv
+			sort.Slice(active, func(a, b int) bool { return active[a].end < active[b].end })
+		} else {
+			if class == ir.ClassCond {
+				return fmt.Errorf("out of condition registers (cannot spill CR)")
+			}
+			iv.spilled = true
+			iv.slot = *nextSlot
+			*nextSlot++
+		}
+	}
+	// Condition registers cannot be spilled to memory in this model.
+	for _, iv := range intervals {
+		if iv.spilled && class == ir.ClassCond {
+			return fmt.Errorf("out of condition registers (cannot spill CR)")
+		}
+	}
+	return nil
+}
+
+func forEachInstr(fn *ir.Fn, f func(*ir.Instr)) {
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			f(&b.Instrs[i])
+		}
+	}
+}
+
+// rewrite replaces virtual registers with their physical assignments and
+// expands spilled operands into scratch-register loads/stores around each
+// instruction.
+func rewrite(fn *ir.Fn, assign map[ir.Reg]*interval) error {
+	for _, b := range fn.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			var pre, post []ir.Instr
+			intScr, fltScr := 0, 0
+			takeScratch := func(class ir.RegClass) (ir.Reg, error) {
+				if class == ir.ClassFloat {
+					if fltScr >= len(floatScratch) {
+						return ir.Reg{}, fmt.Errorf("jit: %s: out of float spill scratch registers", fn.Name)
+					}
+					r := floatScratch[fltScr]
+					fltScr++
+					return r, nil
+				}
+				if intScr >= len(intScratch) {
+					return ir.Reg{}, fmt.Errorf("jit: %s: out of int spill scratch registers", fn.Name)
+				}
+				r := intScratch[intScr]
+				intScr++
+				return r, nil
+			}
+
+			mapReg := func(r ir.Reg, isDef bool) (ir.Reg, error) {
+				if r.IsPhys() || r.Class == ir.ClassGuard {
+					return r, nil
+				}
+				iv, ok := assign[r]
+				if !ok {
+					return r, fmt.Errorf("jit: %s: unallocated vreg %s", fn.Name, r)
+				}
+				if !iv.spilled {
+					return iv.phys, nil
+				}
+				scr, err := takeScratch(r.Class)
+				if err != nil {
+					return r, err
+				}
+				off := int64(iv.slot)
+				if r.Class == ir.ClassFloat {
+					if isDef {
+						post = append(post, ir.Instr{Op: ir.STFD, Uses: []ir.Reg{scr, regSP}, Imm: off})
+					} else {
+						pre = append(pre, ir.Instr{Op: ir.LFD, Defs: []ir.Reg{scr}, Uses: []ir.Reg{regSP}, Imm: off})
+					}
+				} else {
+					if isDef {
+						post = append(post, ir.Instr{Op: ir.ST, Uses: []ir.Reg{scr, regSP}, Imm: off})
+					} else {
+						pre = append(pre, ir.Instr{Op: ir.LD, Defs: []ir.Reg{scr}, Uses: []ir.Reg{regSP}, Imm: off})
+					}
+				}
+				return scr, nil
+			}
+
+			// A register both used and defed by the same instruction
+			// must map consistently; handle uses first, then defs,
+			// reusing the scratch when the vreg repeats.
+			seen := map[ir.Reg]ir.Reg{}
+			mapAll := func(list []ir.Reg, isDef bool) ([]ir.Reg, error) {
+				if list == nil {
+					return nil, nil
+				}
+				outList := make([]ir.Reg, len(list))
+				for i, r := range list {
+					if m, ok := seen[r]; ok && !isDef {
+						outList[i] = m
+						continue
+					}
+					m, err := mapReg(r, isDef)
+					if err != nil {
+						return nil, err
+					}
+					if !isDef {
+						seen[r] = m
+					}
+					outList[i] = m
+				}
+				return outList, nil
+			}
+			newUses, err := mapAll(in.Uses, false)
+			if err != nil {
+				return err
+			}
+			newDefs, err := mapAll(in.Defs, true)
+			if err != nil {
+				return err
+			}
+			in.Uses, in.Defs = newUses, newDefs
+			out = append(out, pre...)
+			out = append(out, in)
+			out = append(out, post...)
+		}
+		b.Instrs = out
+	}
+	return nil
+}

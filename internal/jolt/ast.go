@@ -1,0 +1,265 @@
+package jolt
+
+// The AST. Every node carries its source position for diagnostics.
+
+// TypeKind is a Jolt source-level type.
+type TypeKind uint8
+
+const (
+	TyVoid TypeKind = iota
+	TyInt
+	TyFloat
+	TyBool
+	TyIntArr
+	TyFloatArr
+)
+
+func (t TypeKind) String() string {
+	switch t {
+	case TyVoid:
+		return "void"
+	case TyInt:
+		return "int"
+	case TyFloat:
+		return "float"
+	case TyBool:
+		return "bool"
+	case TyIntArr:
+		return "int[]"
+	case TyFloatArr:
+		return "float[]"
+	}
+	return "?"
+}
+
+// IsArray reports whether the type is an array type.
+func (t TypeKind) IsArray() bool { return t == TyIntArr || t == TyFloatArr }
+
+// Elem returns an array type's element type.
+func (t TypeKind) Elem() TypeKind {
+	switch t {
+	case TyIntArr:
+		return TyInt
+	case TyFloatArr:
+		return TyFloat
+	}
+	return TyVoid
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a top-level variable with an optional constant initializer.
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeKind
+	// Init is nil or a literal expression (IntLit, FloatLit, BoolLit,
+	// possibly negated).
+	Init Expr
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeKind
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    TypeKind
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { stmts... }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a local: var name type [= init];
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Type TypeKind
+	Init Expr // may be nil
+	// Slot is the local slot the checker assigned.
+	Slot int32
+}
+
+// AssignStmt is lvalue = expr;
+type AssignStmt struct {
+	Pos Pos
+	// LHS is either *Ident or *IndexExpr.
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is if (cond) then [else else].
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *VarStmt, *AssignStmt, *ExprStmt, or nil
+	Cond Expr // nil means true
+	Post Stmt // *AssignStmt, *ExprStmt, or nil
+	Body *BlockStmt
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void
+}
+
+// BreakStmt is break;
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is continue;
+type ContinueStmt struct{ Pos Pos }
+
+// PrintStmt is print(expr);
+type PrintStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PrintStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node. The type checker fills in Type().
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+	// Type returns the checked type (valid after Check).
+	Type() TypeKind
+}
+
+type exprBase struct {
+	Pos Pos
+	Ty  TypeKind
+}
+
+func (e *exprBase) exprNode()      {}
+func (e *exprBase) ExprPos() Pos   { return e.Pos }
+func (e *exprBase) Type() TypeKind { return e.Ty }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	exprBase
+	Name string
+	// Resolved by the checker:
+	Global bool
+	Slot   int32
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	exprBase
+	Arr   Expr
+	Index Expr
+}
+
+// CallExpr is f(args...).
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+	// FnIndex is resolved by the checker.
+	FnIndex int
+}
+
+// NewArrayExpr is new elem[size].
+type NewArrayExpr struct {
+	exprBase
+	ElemFloat bool
+	Size      Expr
+}
+
+// LenExpr is len(arr).
+type LenExpr struct {
+	exprBase
+	Arr Expr
+}
+
+// ConvExpr is int(x) or float(x).
+type ConvExpr struct {
+	exprBase
+	ToFloat bool
+	X       Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op Kind // Minus or Not
+	X  Expr
+}
+
+// BinaryExpr is x op y for arithmetic, comparison, and logic operators.
+type BinaryExpr struct {
+	exprBase
+	Op   Kind
+	X, Y Expr
+}

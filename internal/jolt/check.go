@@ -1,0 +1,493 @@
+package jolt
+
+import "fmt"
+
+// Check type-checks the program, resolving identifiers to global/local
+// slots and call targets to function indices, and annotating every
+// expression with its type. It returns the symbol information the code
+// generator needs.
+func Check(prog *Program) (*Info, error) {
+	c := &checker{
+		info:    &Info{GlobalIndex: map[string]int{}, FuncIndex: map[string]int{}},
+		globals: map[string]globalSym{},
+	}
+	return c.run(prog)
+}
+
+// Info carries resolution results from the checker to the code generator.
+type Info struct {
+	// GlobalIndex maps global names to slot numbers, in declaration
+	// order.
+	GlobalIndex map[string]int
+	// GlobalTypes lists global slot types in order.
+	GlobalTypes []TypeKind
+	// FuncIndex maps function names to indices in declaration order.
+	FuncIndex map[string]int
+	// LocalSlots maps each function to its local-slot types; the
+	// checker assigns Ident.Slot values referring to these.
+	LocalSlots map[*FuncDecl][]TypeKind
+}
+
+type globalSym struct {
+	slot int
+	ty   TypeKind
+}
+
+type localSym struct {
+	slot int32
+	ty   TypeKind
+}
+
+type checker struct {
+	info    *Info
+	globals map[string]globalSym
+	funcs   []*FuncDecl
+
+	// Per-function state.
+	fn     *FuncDecl
+	scopes []map[string]localSym
+	slots  []TypeKind
+}
+
+func (c *checker) errAt(p Pos, format string, args ...any) error {
+	return errf(p.Line, p.Col, format, args...)
+}
+
+func (c *checker) run(prog *Program) (*Info, error) {
+	c.info.LocalSlots = make(map[*FuncDecl][]TypeKind)
+
+	// Pass 1: globals and function signatures.
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, c.errAt(g.Pos, "global %q redeclared", g.Name)
+		}
+		if g.Type == TyVoid {
+			return nil, c.errAt(g.Pos, "global %q cannot be void", g.Name)
+		}
+		if g.Init != nil {
+			want := g.Type
+			switch lit := g.Init.(type) {
+			case *IntLit:
+				if want != TyInt {
+					return nil, c.errAt(g.Pos, "global %q: int initializer for %s", g.Name, want)
+				}
+				lit.Ty = TyInt
+			case *FloatLit:
+				if want != TyFloat {
+					return nil, c.errAt(g.Pos, "global %q: float initializer for %s", g.Name, want)
+				}
+				lit.Ty = TyFloat
+			case *BoolLit:
+				if want != TyBool {
+					return nil, c.errAt(g.Pos, "global %q: bool initializer for %s", g.Name, want)
+				}
+				lit.Ty = TyBool
+			default:
+				return nil, c.errAt(g.Pos, "global %q: initializer must be a literal", g.Name)
+			}
+		}
+		slot := len(c.info.GlobalTypes)
+		c.globals[g.Name] = globalSym{slot: slot, ty: g.Type}
+		c.info.GlobalIndex[g.Name] = slot
+		c.info.GlobalTypes = append(c.info.GlobalTypes, g.Type)
+	}
+	for i, f := range prog.Funcs {
+		if _, dup := c.info.FuncIndex[f.Name]; dup {
+			return nil, c.errAt(f.Pos, "function %q redeclared", f.Name)
+		}
+		if _, shadow := c.globals[f.Name]; shadow {
+			return nil, c.errAt(f.Pos, "function %q collides with a global", f.Name)
+		}
+		c.info.FuncIndex[f.Name] = i
+	}
+	c.funcs = prog.Funcs
+
+	// Pass 2: bodies.
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return nil, err
+		}
+	}
+
+	// Entry point.
+	mi, ok := c.info.FuncIndex["main"]
+	if !ok {
+		return nil, fmt.Errorf("jolt: program has no main function")
+	}
+	mf := prog.Funcs[mi]
+	if len(mf.Params) != 0 || mf.Ret != TyInt {
+		return nil, c.errAt(mf.Pos, "main must be 'func main() int'")
+	}
+	return c.info, nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]localSym{{}}
+	c.slots = nil
+	for _, p := range f.Params {
+		if p.Type == TyVoid {
+			return c.errAt(p.Pos, "parameter %q cannot be void", p.Name)
+		}
+		if err := c.declare(p.Pos, p.Name, p.Type); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	if f.Ret != TyVoid && !alwaysReturns(f.Body) {
+		return c.errAt(f.Pos, "function %q: missing return on some path", f.Name)
+	}
+	c.info.LocalSlots[f] = c.slots
+	return nil
+}
+
+func (c *checker) declare(p Pos, name string, ty TypeKind) error {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[name]; dup {
+		return c.errAt(p, "%q redeclared in this scope", name)
+	}
+	slot := int32(len(c.slots))
+	c.slots = append(c.slots, ty)
+	scope[name] = localSym{slot: slot, ty: ty}
+	return nil
+}
+
+func (c *checker) lookup(name string) (localSym, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return localSym{}, false
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]localSym{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *VarStmt:
+		if s.Type == TyVoid {
+			return c.errAt(s.Pos, "variable %q cannot be void", s.Name)
+		}
+		if s.Init != nil {
+			ty, err := c.checkExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if ty != s.Type {
+				return c.errAt(s.Pos, "cannot initialize %s %q with %s", s.Type, s.Name, ty)
+			}
+		}
+		if err := c.declare(s.Pos, s.Name, s.Type); err != nil {
+			return err
+		}
+		s.Slot = int32(len(c.slots) - 1)
+		return nil
+	case *AssignStmt:
+		lty, err := c.checkLValue(s.LHS)
+		if err != nil {
+			return err
+		}
+		rty, err := c.checkExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if lty != rty {
+			return c.errAt(s.Pos, "cannot assign %s to %s", rty, lty)
+		}
+		return nil
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if c.fn.Ret == TyVoid {
+			if s.Value != nil {
+				return c.errAt(s.Pos, "void function returns a value")
+			}
+			return nil
+		}
+		if s.Value == nil {
+			return c.errAt(s.Pos, "missing return value (%s expected)", c.fn.Ret)
+		}
+		ty, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if ty != c.fn.Ret {
+			return c.errAt(s.Pos, "returning %s from %s function", ty, c.fn.Ret)
+		}
+		return nil
+	case *BreakStmt, *ContinueStmt:
+		// Loop nesting is validated by the code generator, which owns
+		// the loop-label stack.
+		return nil
+	case *PrintStmt:
+		ty, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if ty != TyInt && ty != TyFloat && ty != TyBool {
+			return c.errAt(s.Pos, "cannot print %s", ty)
+		}
+		return nil
+	case *ExprStmt:
+		call, ok := s.X.(*CallExpr)
+		if !ok {
+			return c.errAt(s.Pos, "expression statement must be a call")
+		}
+		_, err := c.checkExpr(call)
+		return err
+	}
+	return fmt.Errorf("jolt: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr) error {
+	ty, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if ty != TyBool {
+		return c.errAt(e.ExprPos(), "condition must be bool, got %s", ty)
+	}
+	return nil
+}
+
+func (c *checker) checkLValue(e Expr) (TypeKind, error) {
+	switch e := e.(type) {
+	case *Ident:
+		return c.checkExpr(e)
+	case *IndexExpr:
+		return c.checkExpr(e)
+	}
+	return TyVoid, c.errAt(e.ExprPos(), "not an assignable location")
+}
+
+func (c *checker) checkExpr(e Expr) (TypeKind, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.Ty = TyInt
+		return TyInt, nil
+	case *FloatLit:
+		e.Ty = TyFloat
+		return TyFloat, nil
+	case *BoolLit:
+		e.Ty = TyBool
+		return TyBool, nil
+	case *Ident:
+		if s, ok := c.lookup(e.Name); ok {
+			e.Global = false
+			e.Slot = s.slot
+			e.Ty = s.ty
+			return s.ty, nil
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			e.Global = true
+			e.Slot = int32(g.slot)
+			e.Ty = g.ty
+			return g.ty, nil
+		}
+		return TyVoid, c.errAt(e.Pos, "undefined: %q", e.Name)
+	case *IndexExpr:
+		aty, err := c.checkExpr(e.Arr)
+		if err != nil {
+			return TyVoid, err
+		}
+		if !aty.IsArray() {
+			return TyVoid, c.errAt(e.Pos, "indexing non-array %s", aty)
+		}
+		ity, err := c.checkExpr(e.Index)
+		if err != nil {
+			return TyVoid, err
+		}
+		if ity != TyInt {
+			return TyVoid, c.errAt(e.Pos, "array index must be int, got %s", ity)
+		}
+		e.Ty = aty.Elem()
+		return e.Ty, nil
+	case *CallExpr:
+		fi, ok := c.info.FuncIndex[e.Name]
+		if !ok {
+			return TyVoid, c.errAt(e.Pos, "undefined function %q", e.Name)
+		}
+		callee := c.funcs[fi]
+		if len(e.Args) != len(callee.Params) {
+			return TyVoid, c.errAt(e.Pos, "%q takes %d arguments, got %d", e.Name, len(callee.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			aty, err := c.checkExpr(a)
+			if err != nil {
+				return TyVoid, err
+			}
+			if aty != callee.Params[i].Type {
+				return TyVoid, c.errAt(a.ExprPos(), "argument %d of %q: have %s, want %s", i+1, e.Name, aty, callee.Params[i].Type)
+			}
+		}
+		e.FnIndex = fi
+		e.Ty = callee.Ret
+		return callee.Ret, nil
+	case *NewArrayExpr:
+		sty, err := c.checkExpr(e.Size)
+		if err != nil {
+			return TyVoid, err
+		}
+		if sty != TyInt {
+			return TyVoid, c.errAt(e.Pos, "array size must be int, got %s", sty)
+		}
+		if e.ElemFloat {
+			e.Ty = TyFloatArr
+		} else {
+			e.Ty = TyIntArr
+		}
+		return e.Ty, nil
+	case *LenExpr:
+		aty, err := c.checkExpr(e.Arr)
+		if err != nil {
+			return TyVoid, err
+		}
+		if !aty.IsArray() {
+			return TyVoid, c.errAt(e.Pos, "len of non-array %s", aty)
+		}
+		e.Ty = TyInt
+		return TyInt, nil
+	case *ConvExpr:
+		xty, err := c.checkExpr(e.X)
+		if err != nil {
+			return TyVoid, err
+		}
+		if xty != TyInt && xty != TyFloat {
+			return TyVoid, c.errAt(e.Pos, "cannot convert %s", xty)
+		}
+		if e.ToFloat {
+			e.Ty = TyFloat
+		} else {
+			e.Ty = TyInt
+		}
+		return e.Ty, nil
+	case *UnaryExpr:
+		xty, err := c.checkExpr(e.X)
+		if err != nil {
+			return TyVoid, err
+		}
+		switch e.Op {
+		case Minus:
+			if xty != TyInt && xty != TyFloat {
+				return TyVoid, c.errAt(e.Pos, "cannot negate %s", xty)
+			}
+			e.Ty = xty
+		case Not:
+			if xty != TyBool {
+				return TyVoid, c.errAt(e.Pos, "'!' needs bool, got %s", xty)
+			}
+			e.Ty = TyBool
+		default:
+			return TyVoid, c.errAt(e.Pos, "bad unary operator")
+		}
+		return e.Ty, nil
+	case *BinaryExpr:
+		xty, err := c.checkExpr(e.X)
+		if err != nil {
+			return TyVoid, err
+		}
+		yty, err := c.checkExpr(e.Y)
+		if err != nil {
+			return TyVoid, err
+		}
+		switch e.Op {
+		case Plus, Minus, Star, Slash:
+			if xty != yty || (xty != TyInt && xty != TyFloat) {
+				return TyVoid, c.errAt(e.Pos, "invalid operands %s and %s", xty, yty)
+			}
+			e.Ty = xty
+		case Percent, Amp, Pipe, Caret, Shl, Shr:
+			if xty != TyInt || yty != TyInt {
+				return TyVoid, c.errAt(e.Pos, "integer operator needs int operands, got %s and %s", xty, yty)
+			}
+			e.Ty = TyInt
+		case Lt, Le, Gt, Ge:
+			if xty != yty || (xty != TyInt && xty != TyFloat) {
+				return TyVoid, c.errAt(e.Pos, "cannot compare %s and %s", xty, yty)
+			}
+			e.Ty = TyBool
+		case EqEq, NotEq:
+			if xty != yty || xty.IsArray() {
+				return TyVoid, c.errAt(e.Pos, "cannot compare %s and %s", xty, yty)
+			}
+			e.Ty = TyBool
+		case AndAnd, OrOr:
+			if xty != TyBool || yty != TyBool {
+				return TyVoid, c.errAt(e.Pos, "logical operator needs bool operands, got %s and %s", xty, yty)
+			}
+			e.Ty = TyBool
+		default:
+			return TyVoid, c.errAt(e.Pos, "bad binary operator")
+		}
+		return e.Ty, nil
+	}
+	return TyVoid, fmt.Errorf("jolt: unknown expression %T", e)
+}
+
+// alwaysReturns reports whether every path through the statement returns.
+func alwaysReturns(s Stmt) bool {
+	switch s := s.(type) {
+	case *ReturnStmt:
+		return true
+	case *BlockStmt:
+		for _, inner := range s.Stmts {
+			if alwaysReturns(inner) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		return s.Else != nil && alwaysReturns(s.Then) && alwaysReturns(s.Else)
+	}
+	return false
+}

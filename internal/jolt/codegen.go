@@ -1,0 +1,626 @@
+package jolt
+
+import (
+	"fmt"
+
+	"schedfilter/internal/bytecode"
+)
+
+// InitFnName is the synthesized function that stores global initializers;
+// runtimes execute it (if present) before main.
+const InitFnName = "$init"
+
+// Options configure front-end optimization passes.
+type Options struct {
+	// UnrollFactor unrolls eligible counted loops by this factor
+	// (0 or 1 disables unrolling).
+	UnrollFactor int
+}
+
+// Compile parses, checks, and lowers a Jolt source file to a verified
+// bytecode module (no front-end optimizations).
+func Compile(src string) (*bytecode.Module, error) {
+	return CompileWithOptions(src, Options{})
+}
+
+// CompileWithOptions is Compile with front-end passes applied between
+// parsing and checking.
+func CompileWithOptions(src string, opt Options) (*bytecode.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if opt.UnrollFactor >= 2 {
+		Unroll(prog, opt.UnrollFactor)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Generate(prog, info)
+	if err != nil {
+		return nil, err
+	}
+	if err := bytecode.Verify(m); err != nil {
+		return nil, fmt.Errorf("jolt: internal error: generated module fails verification: %w", err)
+	}
+	return m, nil
+}
+
+// Generate lowers a checked program to bytecode.
+func Generate(prog *Program, info *Info) (*bytecode.Module, error) {
+	m := &bytecode.Module{}
+	for _, t := range info.GlobalTypes {
+		m.Globals = append(m.Globals, bcType(t))
+	}
+
+	// Function indices: user functions keep their checker indices; the
+	// synthesized $init goes last.
+	for _, f := range prog.Funcs {
+		g := &generator{info: info, fnIndexOffset: 0}
+		bf, err := g.genFn(f)
+		if err != nil {
+			return nil, err
+		}
+		m.Fns = append(m.Fns, bf)
+	}
+
+	if initFn := genInit(prog, info); initFn != nil {
+		m.Fns = append(m.Fns, initFn)
+	}
+	return m, nil
+}
+
+// genInit synthesizes $init from the global initializers.
+func genInit(prog *Program, info *Info) *bytecode.Fn {
+	any := false
+	b := bytecode.NewBuilder(InitFnName, nil, bytecode.TVoid)
+	for _, g := range prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		any = true
+		slot := int32(info.GlobalIndex[g.Name])
+		switch lit := g.Init.(type) {
+		case *IntLit:
+			b.IConst(lit.Value).EmitA(bytecode.GISTORE, slot)
+		case *FloatLit:
+			b.FConst(lit.Value).EmitA(bytecode.GFSTORE, slot)
+		case *BoolLit:
+			v := int64(0)
+			if lit.Value {
+				v = 1
+			}
+			b.IConst(v).EmitA(bytecode.GISTORE, slot)
+		}
+	}
+	if !any {
+		return nil
+	}
+	b.Emit(bytecode.RET)
+	return b.MustFinish()
+}
+
+func bcType(t TypeKind) bytecode.Type {
+	switch t {
+	case TyInt:
+		return bytecode.TInt
+	case TyFloat:
+		return bytecode.TFloat
+	case TyBool:
+		return bytecode.TBool
+	case TyIntArr:
+		return bytecode.TIntArr
+	case TyFloatArr:
+		return bytecode.TFloatArr
+	}
+	return bytecode.TVoid
+}
+
+type loopLabels struct {
+	brk  string
+	cont string
+}
+
+type generator struct {
+	info          *Info
+	fnIndexOffset int
+	b             *bytecode.Builder
+	fn            *FuncDecl
+	loops         []loopLabels
+	labelSeq      int
+}
+
+func (g *generator) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s%d", hint, g.labelSeq)
+}
+
+func (g *generator) genFn(f *FuncDecl) (*bytecode.Fn, error) {
+	params := make([]bytecode.Type, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = bcType(p.Type)
+	}
+	g.b = bytecode.NewBuilder(f.Name, params, bcType(f.Ret))
+	g.fn = f
+	// Declare the checker's slot layout (params already occupy the
+	// first slots).
+	slots := g.info.LocalSlots[f]
+	for _, t := range slots[len(f.Params):] {
+		g.b.Local(bcType(t))
+	}
+	if err := g.block(f.Body); err != nil {
+		return nil, err
+	}
+	// Void functions may fall off the end.
+	if f.Ret == TyVoid {
+		g.b.Emit(bytecode.RET)
+	} else {
+		// The checker guarantees all paths return; this trailing
+		// return is unreachable but keeps the verifier's
+		// fall-off-the-end analysis trivially satisfied for
+		// loop-tailed bodies.
+		g.zeroValue(f.Ret)
+		g.ret(f.Ret)
+	}
+	return g.b.Finish()
+}
+
+func (g *generator) zeroValue(t TypeKind) {
+	if t == TyFloat {
+		g.b.FConst(0)
+	} else {
+		g.b.IConst(0)
+	}
+}
+
+func (g *generator) ret(t TypeKind) {
+	switch t {
+	case TyVoid:
+		g.b.Emit(bytecode.RET)
+	case TyFloat:
+		g.b.Emit(bytecode.FRET)
+	default:
+		g.b.Emit(bytecode.IRET)
+	}
+}
+
+func (g *generator) block(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return g.block(s)
+	case *VarStmt:
+		if s.Init != nil {
+			if err := g.expr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			g.zeroValue(s.Type)
+		}
+		g.store(false, s.Slot, s.Type)
+		return nil
+	case *AssignStmt:
+		switch lhs := s.LHS.(type) {
+		case *Ident:
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			g.store(lhs.Global, lhs.Slot, lhs.Type())
+			return nil
+		case *IndexExpr:
+			if err := g.expr(lhs.Arr); err != nil {
+				return err
+			}
+			if err := g.expr(lhs.Index); err != nil {
+				return err
+			}
+			if err := g.expr(s.RHS); err != nil {
+				return err
+			}
+			if lhs.Type() == TyFloat {
+				g.b.Emit(bytecode.FASTORE)
+			} else {
+				g.b.Emit(bytecode.IASTORE)
+			}
+			return nil
+		}
+		return fmt.Errorf("jolt: bad assignment target %T", s.LHS)
+	case *IfStmt:
+		lThen := g.newLabel("then")
+		lEnd := g.newLabel("endif")
+		lElse := lEnd
+		if s.Else != nil {
+			lElse = g.newLabel("else")
+		}
+		if err := g.cond(s.Cond, lThen, lElse); err != nil {
+			return err
+		}
+		g.b.Label(lThen)
+		if err := g.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.b.Branch(bytecode.GOTO, lEnd)
+			g.b.Label(lElse)
+			if err := g.stmt(s.Else); err != nil {
+				return err
+			}
+		}
+		g.b.Label(lEnd)
+		return nil
+	case *WhileStmt:
+		lCond := g.newLabel("wcond")
+		lBody := g.newLabel("wbody")
+		lEnd := g.newLabel("wend")
+		g.b.Label(lCond)
+		if err := g.cond(s.Cond, lBody, lEnd); err != nil {
+			return err
+		}
+		g.b.Label(lBody)
+		g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lCond})
+		if err := g.block(s.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Branch(bytecode.GOTO, lCond)
+		g.b.Label(lEnd)
+		return nil
+	case *ForStmt:
+		lCond := g.newLabel("fcond")
+		lBody := g.newLabel("fbody")
+		lPost := g.newLabel("fpost")
+		lEnd := g.newLabel("fend")
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		g.b.Label(lCond)
+		if s.Cond != nil {
+			if err := g.cond(s.Cond, lBody, lEnd); err != nil {
+				return err
+			}
+		} else {
+			g.b.Branch(bytecode.GOTO, lBody)
+		}
+		g.b.Label(lBody)
+		g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lPost})
+		if err := g.block(s.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Label(lPost)
+		if s.Post != nil {
+			if err := g.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.b.Branch(bytecode.GOTO, lCond)
+		g.b.Label(lEnd)
+		return nil
+	case *ReturnStmt:
+		if s.Value != nil {
+			if err := g.expr(s.Value); err != nil {
+				return err
+			}
+		}
+		g.ret(g.fn.Ret)
+		return nil
+	case *BreakStmt:
+		if len(g.loops) == 0 {
+			return errf(s.Pos.Line, s.Pos.Col, "break outside loop")
+		}
+		g.b.Branch(bytecode.GOTO, g.loops[len(g.loops)-1].brk)
+		return nil
+	case *ContinueStmt:
+		if len(g.loops) == 0 {
+			return errf(s.Pos.Line, s.Pos.Col, "continue outside loop")
+		}
+		g.b.Branch(bytecode.GOTO, g.loops[len(g.loops)-1].cont)
+		return nil
+	case *PrintStmt:
+		if err := g.expr(s.Value); err != nil {
+			return err
+		}
+		if s.Value.Type() == TyFloat {
+			g.b.Emit(bytecode.PRINTF)
+		} else {
+			g.b.Emit(bytecode.PRINTI)
+		}
+		return nil
+	case *ExprStmt:
+		call := s.X.(*CallExpr)
+		if err := g.expr(call); err != nil {
+			return err
+		}
+		switch call.Type() {
+		case TyVoid:
+		case TyFloat:
+			g.b.Emit(bytecode.FPOP)
+		default:
+			g.b.Emit(bytecode.POP)
+		}
+		return nil
+	}
+	return fmt.Errorf("jolt: unknown statement %T", s)
+}
+
+func (g *generator) store(global bool, slot int32, t TypeKind) {
+	switch {
+	case global && t == TyFloat:
+		g.b.EmitA(bytecode.GFSTORE, slot)
+	case global:
+		g.b.EmitA(bytecode.GISTORE, slot)
+	case t == TyFloat:
+		g.b.EmitA(bytecode.FSTORE, slot)
+	default:
+		g.b.EmitA(bytecode.ISTORE, slot)
+	}
+}
+
+func (g *generator) load(global bool, slot int32, t TypeKind) {
+	switch {
+	case global && t == TyFloat:
+		g.b.EmitA(bytecode.GFLOAD, slot)
+	case global:
+		g.b.EmitA(bytecode.GILOAD, slot)
+	case t == TyFloat:
+		g.b.EmitA(bytecode.FLOAD, slot)
+	default:
+		g.b.EmitA(bytecode.ILOAD, slot)
+	}
+}
+
+// expr emits code leaving the expression's value on the stack.
+func (g *generator) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		g.b.IConst(e.Value)
+		return nil
+	case *FloatLit:
+		g.b.FConst(e.Value)
+		return nil
+	case *BoolLit:
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		g.b.IConst(v)
+		return nil
+	case *Ident:
+		g.load(e.Global, e.Slot, e.Type())
+		return nil
+	case *IndexExpr:
+		if err := g.expr(e.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(e.Index); err != nil {
+			return err
+		}
+		if e.Type() == TyFloat {
+			g.b.Emit(bytecode.FALOAD)
+		} else {
+			g.b.Emit(bytecode.IALOAD)
+		}
+		return nil
+	case *CallExpr:
+		for _, a := range e.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		g.b.EmitA(bytecode.CALL, int32(e.FnIndex+g.fnIndexOffset))
+		return nil
+	case *NewArrayExpr:
+		if err := g.expr(e.Size); err != nil {
+			return err
+		}
+		if e.ElemFloat {
+			g.b.Emit(bytecode.NEWARRF)
+		} else {
+			g.b.Emit(bytecode.NEWARRI)
+		}
+		return nil
+	case *LenExpr:
+		if err := g.expr(e.Arr); err != nil {
+			return err
+		}
+		g.b.Emit(bytecode.ALEN)
+		return nil
+	case *ConvExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		from := e.X.Type()
+		switch {
+		case e.ToFloat && from == TyInt:
+			g.b.Emit(bytecode.I2F)
+		case !e.ToFloat && from == TyFloat:
+			g.b.Emit(bytecode.F2I)
+		}
+		return nil
+	case *UnaryExpr:
+		if e.Op == Minus {
+			if err := g.expr(e.X); err != nil {
+				return err
+			}
+			if e.Type() == TyFloat {
+				g.b.Emit(bytecode.FNEG)
+			} else {
+				g.b.Emit(bytecode.INEG)
+			}
+			return nil
+		}
+		// Boolean not: materialize via the condition path.
+		return g.materializeBool(e)
+	case *BinaryExpr:
+		switch e.Op {
+		case Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Shl, Shr:
+			if err := g.expr(e.X); err != nil {
+				return err
+			}
+			if err := g.expr(e.Y); err != nil {
+				return err
+			}
+			g.arith(e.Op, e.Type())
+			return nil
+		default:
+			// Comparison or logic: bool-valued.
+			return g.materializeBool(e)
+		}
+	}
+	return fmt.Errorf("jolt: unknown expression %T", e)
+}
+
+func (g *generator) arith(op Kind, t TypeKind) {
+	if t == TyFloat {
+		switch op {
+		case Plus:
+			g.b.Emit(bytecode.FADD)
+		case Minus:
+			g.b.Emit(bytecode.FSUB)
+		case Star:
+			g.b.Emit(bytecode.FMUL)
+		case Slash:
+			g.b.Emit(bytecode.FDIV)
+		}
+		return
+	}
+	switch op {
+	case Plus:
+		g.b.Emit(bytecode.IADD)
+	case Minus:
+		g.b.Emit(bytecode.ISUB)
+	case Star:
+		g.b.Emit(bytecode.IMUL)
+	case Slash:
+		g.b.Emit(bytecode.IDIV)
+	case Percent:
+		g.b.Emit(bytecode.IREM)
+	case Amp:
+		g.b.Emit(bytecode.IAND)
+	case Pipe:
+		g.b.Emit(bytecode.IOR)
+	case Caret:
+		g.b.Emit(bytecode.IXOR)
+	case Shl:
+		g.b.Emit(bytecode.ISHL)
+	case Shr:
+		g.b.Emit(bytecode.ISHR)
+	}
+}
+
+// materializeBool evaluates a bool expression to a 0/1 value via branches.
+func (g *generator) materializeBool(e Expr) error {
+	lT := g.newLabel("bt")
+	lF := g.newLabel("bf")
+	lEnd := g.newLabel("bend")
+	if err := g.cond(e, lT, lF); err != nil {
+		return err
+	}
+	g.b.Label(lT)
+	g.b.IConst(1)
+	g.b.Branch(bytecode.GOTO, lEnd)
+	g.b.Label(lF)
+	g.b.IConst(0)
+	g.b.Label(lEnd)
+	return nil
+}
+
+// cond emits code branching to lTrue or lFalse according to the bool
+// expression, with short-circuit && and ||. Control always leaves via an
+// explicit branch.
+func (g *generator) cond(e Expr, lTrue, lFalse string) error {
+	switch e := e.(type) {
+	case *BoolLit:
+		if e.Value {
+			g.b.Branch(bytecode.GOTO, lTrue)
+		} else {
+			g.b.Branch(bytecode.GOTO, lFalse)
+		}
+		return nil
+	case *UnaryExpr:
+		if e.Op == Not {
+			return g.cond(e.X, lFalse, lTrue)
+		}
+	case *BinaryExpr:
+		switch e.Op {
+		case AndAnd:
+			mid := g.newLabel("and")
+			if err := g.cond(e.X, mid, lFalse); err != nil {
+				return err
+			}
+			g.b.Label(mid)
+			return g.cond(e.Y, lTrue, lFalse)
+		case OrOr:
+			mid := g.newLabel("or")
+			if err := g.cond(e.X, lTrue, mid); err != nil {
+				return err
+			}
+			g.b.Label(mid)
+			return g.cond(e.Y, lTrue, lFalse)
+		case Lt, Le, Gt, Ge, EqEq, NotEq:
+			if err := g.expr(e.X); err != nil {
+				return err
+			}
+			if err := g.expr(e.Y); err != nil {
+				return err
+			}
+			isFloat := e.X.Type() == TyFloat
+			g.b.Branch(cmpOp(e.Op, isFloat), lTrue)
+			g.b.Branch(bytecode.GOTO, lFalse)
+			return nil
+		}
+	}
+	// Generic bool value: compare against zero.
+	if err := g.expr(e); err != nil {
+		return err
+	}
+	g.b.IConst(0)
+	g.b.Branch(bytecode.IFICMPNE, lTrue)
+	g.b.Branch(bytecode.GOTO, lFalse)
+	return nil
+}
+
+func cmpOp(op Kind, isFloat bool) bytecode.Op {
+	if isFloat {
+		switch op {
+		case Lt:
+			return bytecode.IFFCMPLT
+		case Le:
+			return bytecode.IFFCMPLE
+		case Gt:
+			return bytecode.IFFCMPGT
+		case Ge:
+			return bytecode.IFFCMPGE
+		case EqEq:
+			return bytecode.IFFCMPEQ
+		case NotEq:
+			return bytecode.IFFCMPNE
+		}
+	}
+	switch op {
+	case Lt:
+		return bytecode.IFICMPLT
+	case Le:
+		return bytecode.IFICMPLE
+	case Gt:
+		return bytecode.IFICMPGT
+	case Ge:
+		return bytecode.IFICMPGE
+	case EqEq:
+		return bytecode.IFICMPEQ
+	case NotEq:
+		return bytecode.IFICMPNE
+	}
+	panic("jolt: not a comparison")
+}

@@ -1,0 +1,637 @@
+package jolt
+
+// Parse builds the AST of a Jolt source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %s, found %s", k, t)
+	}
+	p.next()
+	return t, nil
+}
+
+func tokPos(t Token) Pos { return Pos{Line: t.Line, Col: t.Col} }
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwVar:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "expected 'var' or 'func' at top level, found %s", t)
+		}
+	}
+	return prog, nil
+}
+
+// typeName parses int, float, bool, int[], float[].
+func (p *parser) typeName() (TypeKind, error) {
+	t := p.cur()
+	var base TypeKind
+	switch t.Kind {
+	case KwInt:
+		base = TyInt
+	case KwFloat:
+		base = TyFloat
+	case KwBool:
+		base = TyBool
+	default:
+		return TyVoid, errf(t.Line, t.Col, "expected a type, found %s", t)
+	}
+	p.next()
+	if p.accept(LBrack) {
+		if _, err := p.expect(RBrack); err != nil {
+			return TyVoid, err
+		}
+		switch base {
+		case TyInt:
+			return TyIntArr, nil
+		case TyFloat:
+			return TyFloatArr, nil
+		default:
+			return TyVoid, errf(t.Line, t.Col, "bool arrays are not supported")
+		}
+	}
+	return base, nil
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	kw, _ := p.expect(KwVar)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: tokPos(kw), Name: name.Text, Type: ty}
+	if p.accept(Assign) {
+		init, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// literal parses a constant initializer: possibly-negated numeric literal
+// or a bool literal.
+func (p *parser) literal() (Expr, error) {
+	t := p.cur()
+	neg := false
+	if p.accept(Minus) {
+		neg = true
+		t = p.cur()
+	}
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v := t.Int
+		if neg {
+			v = -v
+		}
+		return &IntLit{exprBase: exprBase{Pos: tokPos(t)}, Value: v}, nil
+	case FLOATLIT:
+		p.next()
+		v := t.Flt
+		if neg {
+			v = -v
+		}
+		return &FloatLit{exprBase: exprBase{Pos: tokPos(t)}, Value: v}, nil
+	case KwTrue, KwFalse:
+		if neg {
+			return nil, errf(t.Line, t.Col, "cannot negate a bool literal")
+		}
+		p.next()
+		return &BoolLit{exprBase: exprBase{Pos: tokPos(t)}, Value: t.Kind == KwTrue}, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected a constant initializer, found %s", t)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, _ := p.expect(KwFunc)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: tokPos(kw), Name: name.Text, Ret: TyVoid}
+	for !p.at(RParen) {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Pos: tokPos(pn), Name: pn.Text, Type: pt})
+	}
+	p.next() // RParen
+	if !p.at(LBrace) {
+		ret, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.Ret = ret
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: tokPos(lb)}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(lb.Line, lb.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.block()
+	case KwVar:
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: tokPos(t), Cond: cond, Body: body}, nil
+	case KwFor:
+		return p.forStmt()
+	case KwReturn:
+		p.next()
+		s := &ReturnStmt{Pos: tokPos(t)}
+		if !p.at(Semi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tokPos(t)}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tokPos(t)}, nil
+	case KwPrint:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: tokPos(t), Value: v}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) varStmt() (*VarStmt, error) {
+	kw, _ := p.expect(KwVar)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	s := &VarStmt{Pos: tokPos(kw), Name: name.Text, Type: ty}
+	if p.accept(Assign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	return s, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw, _ := p.expect(KwIf)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: tokPos(kw), Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw, _ := p.expect(KwFor)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: tokPos(kw)}
+	if !p.at(Semi) {
+		var err error
+		if p.at(KwVar) {
+			s.Init, err = p.varStmt()
+		} else {
+			s.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(Semi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// simpleStmt is an assignment or an expression statement.
+func (p *parser) simpleStmt() (Stmt, error) {
+	start := p.cur()
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		switch x.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, errf(start.Line, start.Col, "left side of '=' must be a variable or array element")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: tokPos(start), LHS: x, RHS: rhs}, nil
+	}
+	if _, ok := x.(*CallExpr); !ok {
+		return nil, errf(start.Line, start.Col, "expression statement must be a call")
+	}
+	return &ExprStmt{Pos: tokPos(start), X: x}, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) binaryLevel(ops []Kind, sub func() (Expr, error)) (Expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(op) {
+				t := p.next()
+				y, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				x = &BinaryExpr{exprBase: exprBase{Pos: tokPos(t)}, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{OrOr}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{AndAnd}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{EqEq, NotEq}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Le, Ge, Lt, Gt}, p.addExpr)
+}
+
+// addExpr follows Go's precedence: | and ^ bind like + and -.
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Plus, Minus, Pipe, Caret}, p.mulExpr)
+}
+
+// mulExpr follows Go's precedence: shifts and & bind like * and /.
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]Kind{Star, Slash, Percent, Shl, Shr, Amp}, p.unaryExpr)
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == Minus || t.Kind == Not {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: exprBase{Pos: tokPos(t)}, Op: t.Kind, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(LBrack) {
+		t := p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{exprBase: exprBase{Pos: tokPos(t)}, Arr: x, Index: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: tokPos(t)}, Value: t.Int}, nil
+	case FLOATLIT:
+		p.next()
+		return &FloatLit{exprBase: exprBase{Pos: tokPos(t)}, Value: t.Flt}, nil
+	case KwTrue, KwFalse:
+		p.next()
+		return &BoolLit{exprBase: exprBase{Pos: tokPos(t)}, Value: t.Kind == KwTrue}, nil
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			return p.callArgs(t)
+		}
+		return &Ident{exprBase: exprBase{Pos: tokPos(t)}, Name: t.Text}, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case KwNew:
+		p.next()
+		var isFloat bool
+		switch p.cur().Kind {
+		case KwInt:
+			isFloat = false
+		case KwFloat:
+			isFloat = true
+		default:
+			return nil, errf(t.Line, t.Col, "expected 'int' or 'float' after 'new'")
+		}
+		p.next()
+		if _, err := p.expect(LBrack); err != nil {
+			return nil, err
+		}
+		size, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+		return &NewArrayExpr{exprBase: exprBase{Pos: tokPos(t)}, ElemFloat: isFloat, Size: size}, nil
+	case KwLen:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		arr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &LenExpr{exprBase: exprBase{Pos: tokPos(t)}, Arr: arr}, nil
+	case KwInt, KwFloat:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &ConvExpr{exprBase: exprBase{Pos: tokPos(t)}, ToFloat: t.Kind == KwFloat, X: x}, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s in expression", t)
+}
+
+func (p *parser) callArgs(name Token) (Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	c := &CallExpr{exprBase: exprBase{Pos: tokPos(name)}, Name: name.Text, FnIndex: -1}
+	for !p.at(RParen) {
+		if len(c.Args) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+	}
+	p.next() // RParen
+	return c, nil
+}

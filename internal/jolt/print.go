@@ -1,0 +1,256 @@
+package jolt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders the AST as an indented tree, for joltc -dump ast
+// and front-end debugging.
+func PrintProgram(p *Program) string {
+	var b strings.Builder
+	pr := &printer{b: &b}
+	for _, g := range p.Globals {
+		pr.printf("global %s %s", g.Name, g.Type)
+		if g.Init != nil {
+			pr.b.WriteString(" = ")
+			pr.expr(g.Init)
+		}
+		pr.nl()
+	}
+	for _, f := range p.Funcs {
+		pr.printf("func %s(", f.Name)
+		for i, param := range f.Params {
+			if i > 0 {
+				pr.b.WriteString(", ")
+			}
+			pr.printf("%s %s", param.Name, param.Type)
+		}
+		pr.printf(") %s", f.Ret)
+		pr.nl()
+		pr.indent++
+		pr.block(f.Body)
+		pr.indent--
+	}
+	return b.String()
+}
+
+type printer struct {
+	b      *strings.Builder
+	indent int
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(p.b, format, args...)
+}
+
+func (p *printer) nl() {
+	p.b.WriteString("\n")
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	p.printf(format, args...)
+	p.nl()
+}
+
+func (p *printer) open(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	p.printf(format, args...)
+	p.nl()
+	p.indent++
+}
+
+func (p *printer) close() { p.indent-- }
+
+func (p *printer) block(b *BlockStmt) {
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.open("block")
+		p.block(s)
+		p.close()
+	case *VarStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.printf("var %s %s", s.Name, s.Type)
+		if s.Init != nil {
+			p.b.WriteString(" = ")
+			p.expr(s.Init)
+		}
+		p.nl()
+	case *AssignStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.expr(s.LHS)
+		p.b.WriteString(" = ")
+		p.expr(s.RHS)
+		p.nl()
+	case *IfStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("if ")
+		p.expr(s.Cond)
+		p.nl()
+		p.indent++
+		p.block(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.open("else")
+			p.stmt(s.Else)
+			p.close()
+		}
+	case *WhileStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("while ")
+		p.expr(s.Cond)
+		p.nl()
+		p.indent++
+		p.block(s.Body)
+		p.indent--
+	case *ForStmt:
+		p.open("for")
+		if s.Init != nil {
+			p.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			p.b.WriteString(strings.Repeat("  ", p.indent))
+			p.b.WriteString("cond ")
+			p.expr(s.Cond)
+			p.nl()
+		}
+		if s.Post != nil {
+			p.stmt(s.Post)
+		}
+		p.open("body")
+		p.block(s.Body)
+		p.close()
+		p.close()
+	case *ReturnStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("return")
+		if s.Value != nil {
+			p.b.WriteString(" ")
+			p.expr(s.Value)
+		}
+		p.nl()
+	case *BreakStmt:
+		p.line("break")
+	case *ContinueStmt:
+		p.line("continue")
+	case *PrintStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("print ")
+		p.expr(s.Value)
+		p.nl()
+	case *ExprStmt:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.expr(s.X)
+		p.nl()
+	}
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		p.printf("%d", e.Value)
+	case *FloatLit:
+		p.printf("%g", e.Value)
+	case *BoolLit:
+		p.printf("%t", e.Value)
+	case *Ident:
+		p.b.WriteString(e.Name)
+	case *IndexExpr:
+		p.expr(e.Arr)
+		p.b.WriteString("[")
+		p.expr(e.Index)
+		p.b.WriteString("]")
+	case *CallExpr:
+		p.b.WriteString(e.Name)
+		p.b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		p.b.WriteString(")")
+	case *NewArrayExpr:
+		elem := "int"
+		if e.ElemFloat {
+			elem = "float"
+		}
+		p.printf("new %s[", elem)
+		p.expr(e.Size)
+		p.b.WriteString("]")
+	case *LenExpr:
+		p.b.WriteString("len(")
+		p.expr(e.Arr)
+		p.b.WriteString(")")
+	case *ConvExpr:
+		if e.ToFloat {
+			p.b.WriteString("float(")
+		} else {
+			p.b.WriteString("int(")
+		}
+		p.expr(e.X)
+		p.b.WriteString(")")
+	case *UnaryExpr:
+		p.b.WriteString(opText(e.Op))
+		p.b.WriteString("(")
+		p.expr(e.X)
+		p.b.WriteString(")")
+	case *BinaryExpr:
+		p.b.WriteString("(")
+		p.expr(e.X)
+		p.printf(" %s ", opText(e.Op))
+		p.expr(e.Y)
+		p.b.WriteString(")")
+	}
+}
+
+func opText(k Kind) string {
+	switch k {
+	case Plus:
+		return "+"
+	case Minus:
+		return "-"
+	case Star:
+		return "*"
+	case Slash:
+		return "/"
+	case Percent:
+		return "%"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case EqEq:
+		return "=="
+	case NotEq:
+		return "!="
+	case AndAnd:
+		return "&&"
+	case OrOr:
+		return "||"
+	case Not:
+		return "!"
+	case Amp:
+		return "&"
+	case Pipe:
+		return "|"
+	case Caret:
+		return "^"
+	case Shl:
+		return "<<"
+	case Shr:
+		return ">>"
+	}
+	return k.String()
+}

@@ -1,0 +1,298 @@
+package jolt
+
+import "fmt"
+
+// Loop unrolling, an AST-level optimization pass run between parsing and
+// checking. Unrolling grows basic blocks — exactly the blocks where list
+// scheduling has room to work — so it both speeds programs up and enriches
+// the population of blocks that benefit from scheduling.
+//
+// Only provably safe counted loops are transformed:
+//
+//	for (var i int = E; i < LIMIT; i = i + 1) { BODY }
+//
+// where BODY contains no break/continue/return, never assigns i, and LIMIT
+// is an integer literal, a variable the body never assigns, or len(v) of
+// such a variable. The rewrite evaluates LIMIT once and splits the loop
+// into a k-wide main loop plus a remainder loop:
+//
+//	var i int = E;
+//	var $lim int = LIMIT;
+//	while (i + (k-1) < $lim) { BODY; i=i+1; ... k times ... }
+//	while (i < $lim) { BODY; i = i + 1; }
+
+// Unroll rewrites every eligible counted for-loop in the program with the
+// given unroll factor (k >= 2). It returns the number of loops unrolled.
+func Unroll(prog *Program, factor int) int {
+	if factor < 2 {
+		return 0
+	}
+	u := &unroller{factor: factor}
+	for _, f := range prog.Funcs {
+		u.block(f.Body)
+	}
+	return u.count
+}
+
+type unroller struct {
+	factor int
+	count  int
+	fresh  int
+}
+
+func (u *unroller) freshName() string {
+	u.fresh++
+	return fmt.Sprintf("$unroll%d", u.fresh)
+}
+
+func (u *unroller) block(b *BlockStmt) {
+	for i, s := range b.Stmts {
+		b.Stmts[i] = u.stmt(s)
+	}
+}
+
+func (u *unroller) stmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *BlockStmt:
+		u.block(s)
+		return s
+	case *IfStmt:
+		u.block(s.Then)
+		if s.Else != nil {
+			s.Else = u.stmt(s.Else)
+		}
+		return s
+	case *WhileStmt:
+		u.block(s.Body)
+		return s
+	case *ForStmt:
+		u.block(s.Body)
+		if out := u.tryUnroll(s); out != nil {
+			u.count++
+			return out
+		}
+		return s
+	}
+	return s
+}
+
+// tryUnroll returns the replacement statement, or nil if the loop does not
+// match the safe pattern.
+func (u *unroller) tryUnroll(f *ForStmt) Stmt {
+	// Pattern: init is `var i int = E`.
+	init, ok := f.Init.(*VarStmt)
+	if !ok || init.Type != TyInt || init.Init == nil {
+		return nil
+	}
+	iName := init.Name
+	// Pattern: cond is `i < LIMIT`.
+	cond, ok := f.Cond.(*BinaryExpr)
+	if !ok || cond.Op != Lt {
+		return nil
+	}
+	if id, ok := cond.X.(*Ident); !ok || id.Name != iName {
+		return nil
+	}
+	// Pattern: post is `i = i + 1`.
+	if !isIncrementByOne(f.Post, iName) {
+		return nil
+	}
+	if !safeBody(f.Body, iName) {
+		return nil
+	}
+	limitOK, limitVars := simpleLimit(cond.Y)
+	if !limitOK {
+		return nil
+	}
+	for _, v := range limitVars {
+		if assignsTo(f.Body, v) {
+			return nil
+		}
+	}
+
+	k := u.factor
+	limName := u.freshName()
+	pos := f.Pos
+
+	outer := &BlockStmt{Pos: pos}
+	outer.Stmts = append(outer.Stmts,
+		&VarStmt{Pos: pos, Name: iName, Type: TyInt, Init: CloneExpr(init.Init)},
+		&VarStmt{Pos: pos, Name: limName, Type: TyInt, Init: CloneExpr(cond.Y)},
+	)
+
+	iRef := func() Expr { return &Ident{exprBase: exprBase{Pos: pos}, Name: iName} }
+	limRef := func() Expr { return &Ident{exprBase: exprBase{Pos: pos}, Name: limName} }
+	inc := func() Stmt {
+		return &AssignStmt{Pos: pos, LHS: iRef(), RHS: &BinaryExpr{
+			exprBase: exprBase{Pos: pos}, Op: Plus, X: iRef(),
+			Y: &IntLit{exprBase: exprBase{Pos: pos}, Value: 1},
+		}}
+	}
+
+	// while (i + (k-1) < $lim) { body; i=i+1; ... }
+	mainCond := &BinaryExpr{
+		exprBase: exprBase{Pos: pos}, Op: Lt,
+		X: &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: Plus, X: iRef(),
+			Y: &IntLit{exprBase: exprBase{Pos: pos}, Value: int64(k - 1)}},
+		Y: limRef(),
+	}
+	mainBody := &BlockStmt{Pos: pos}
+	for rep := 0; rep < k; rep++ {
+		mainBody.Stmts = append(mainBody.Stmts, CloneBlock(f.Body), inc())
+	}
+	outer.Stmts = append(outer.Stmts, &WhileStmt{Pos: pos, Cond: mainCond, Body: mainBody})
+
+	// Remainder: while (i < $lim) { body; i=i+1; }
+	remBody := &BlockStmt{Pos: pos}
+	remBody.Stmts = append(remBody.Stmts, CloneBlock(f.Body), inc())
+	remCond := &BinaryExpr{exprBase: exprBase{Pos: pos}, Op: Lt, X: iRef(), Y: limRef()}
+	outer.Stmts = append(outer.Stmts, &WhileStmt{Pos: pos, Cond: remCond, Body: remBody})
+
+	return outer
+}
+
+func isIncrementByOne(s Stmt, name string) bool {
+	a, ok := s.(*AssignStmt)
+	if !ok {
+		return false
+	}
+	lhs, ok := a.LHS.(*Ident)
+	if !ok || lhs.Name != name {
+		return false
+	}
+	add, ok := a.RHS.(*BinaryExpr)
+	if !ok || add.Op != Plus {
+		return false
+	}
+	x, ok := add.X.(*Ident)
+	if !ok || x.Name != name {
+		return false
+	}
+	one, ok := add.Y.(*IntLit)
+	return ok && one.Value == 1
+}
+
+// simpleLimit reports whether the loop bound is safe to evaluate once, and
+// which variables its value depends on.
+func simpleLimit(e Expr) (bool, []string) {
+	switch e := e.(type) {
+	case *IntLit:
+		return true, nil
+	case *Ident:
+		return true, []string{e.Name}
+	case *LenExpr:
+		if id, ok := e.Arr.(*Ident); ok {
+			return true, []string{id.Name}
+		}
+	case *BinaryExpr:
+		// Allow simple arithmetic over safe sub-limits (e.g. n-1, n/2).
+		switch e.Op {
+		case Plus, Minus, Star, Slash:
+			okX, vx := simpleLimit(e.X)
+			okY, vy := simpleLimit(e.Y)
+			if okX && okY {
+				return true, append(vx, vy...)
+			}
+		}
+	}
+	return false, nil
+}
+
+// safeBody reports whether the loop body avoids break/continue/return,
+// never writes the induction variable, and declares no variable shadowing
+// it (a shadow would change which i the increment sees after inlining the
+// body copies into one scope... the copies keep their own scopes, but the
+// induction increment between copies must see the loop's i).
+func safeBody(b *BlockStmt, iName string) bool {
+	safe := true
+	var walkStmt func(Stmt)
+	var walkBlock func(*BlockStmt)
+	walkBlock = func(bb *BlockStmt) {
+		for _, s := range bb.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch s := s.(type) {
+		case *BlockStmt:
+			walkBlock(s)
+		case *VarStmt:
+			if s.Name == iName {
+				safe = false
+			}
+		case *AssignStmt:
+			if id, ok := s.LHS.(*Ident); ok && id.Name == iName {
+				safe = false
+			}
+		case *IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *WhileStmt:
+			walkBlock(s.Body)
+		case *ForStmt:
+			// A nested for re-binding the same induction name is its
+			// own scope; nested loops are fine, but a nested loop's
+			// break/continue is also fine (it targets the inner
+			// loop). Recurse only for assignments to our i.
+			if init, ok := s.Init.(*VarStmt); !ok || init.Name != iName {
+				if s.Init != nil {
+					walkStmt(s.Init)
+				}
+				if s.Post != nil {
+					walkStmt(s.Post)
+				}
+				walkBlock(s.Body)
+			}
+		case *BreakStmt, *ContinueStmt, *ReturnStmt:
+			safe = false
+		}
+	}
+	walkBlock(b)
+	return safe
+}
+
+// assignsTo reports whether the body assigns to the named variable (or
+// declares a shadowing one, which would make the hoisted limit diverge).
+func assignsTo(b *BlockStmt, name string) bool {
+	found := false
+	var walkStmt func(Stmt)
+	var walkBlock func(*BlockStmt)
+	walkBlock = func(bb *BlockStmt) {
+		for _, s := range bb.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch s := s.(type) {
+		case *BlockStmt:
+			walkBlock(s)
+		case *VarStmt:
+			if s.Name == name {
+				found = true
+			}
+		case *AssignStmt:
+			if id, ok := s.LHS.(*Ident); ok && id.Name == name {
+				found = true
+			}
+		case *IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *WhileStmt:
+			walkBlock(s.Body)
+		case *ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.Post != nil {
+				walkStmt(s.Post)
+			}
+			walkBlock(s.Body)
+		}
+	}
+	walkBlock(b)
+	return found
+}

@@ -1,0 +1,236 @@
+package machine
+
+import "schedfilter/internal/ir"
+
+// IssueState models in-order issue onto the machine's functional units.
+// Instructions are presented in their final program order; the state tracks,
+// per cycle, how many issue slots are consumed, when each unit is free, and
+// when each register's value becomes available.
+//
+// The same state machine serves three masters:
+//   - the per-block cost estimator (EstimateCost), which is the paper's
+//     "simplified machine simulator" used to label training instances;
+//   - the CPS list scheduler, which asks EarliestStart for every ready
+//     instruction and issues the winner;
+//   - the whole-program timing simulator, which keeps one IssueState alive
+//     across basic blocks.
+type IssueState struct {
+	m *Model
+
+	// cycle is the issue cycle of the most recently issued instruction;
+	// in-order issue means no later instruction may issue earlier.
+	cycle int
+	// nonBranch and branch count the slots consumed in 'cycle'.
+	nonBranch int
+	branch    int
+
+	unitFree [NumUnits]int
+
+	intReady   [ir.NumGPR]int
+	floatReady [ir.NumFPR]int
+	condReady  [ir.NumCond]int
+	// virtReady covers virtual registers (including guards), which have
+	// no fixed file size.
+	virtReady map[ir.Reg]int
+
+	makespan int
+}
+
+// NewIssueState returns an empty issue state for the model.
+func NewIssueState(m *Model) *IssueState {
+	return &IssueState{m: m}
+}
+
+// Reset clears the state for reuse.
+func (s *IssueState) Reset() {
+	model := s.m
+	*s = IssueState{m: model}
+}
+
+// Clone returns an independent copy of the state.
+func (s *IssueState) Clone() *IssueState {
+	c := *s
+	if s.virtReady != nil {
+		c.virtReady = make(map[ir.Reg]int, len(s.virtReady))
+		for k, v := range s.virtReady {
+			c.virtReady[k] = v
+		}
+	}
+	return &c
+}
+
+func (s *IssueState) ready(r ir.Reg) int {
+	if r.IsPhys() {
+		switch r.Class {
+		case ir.ClassInt:
+			return s.intReady[r.N]
+		case ir.ClassFloat:
+			return s.floatReady[r.N]
+		case ir.ClassCond:
+			return s.condReady[r.N]
+		}
+	}
+	return s.virtReady[r]
+}
+
+func (s *IssueState) setReady(r ir.Reg, t int) {
+	if r.IsPhys() {
+		switch r.Class {
+		case ir.ClassInt:
+			s.intReady[r.N] = t
+			return
+		case ir.ClassFloat:
+			s.floatReady[r.N] = t
+			return
+		case ir.ClassCond:
+			s.condReady[r.N] = t
+			return
+		}
+	}
+	if s.virtReady == nil {
+		s.virtReady = make(map[ir.Reg]int)
+	}
+	s.virtReady[r] = t
+}
+
+// operandsReady returns the first cycle at which all of in's register
+// inputs are available and its outputs may be rewritten.
+func (s *IssueState) operandsReady(in *ir.Instr) int {
+	t := 0
+	for _, u := range in.Uses {
+		if r := s.ready(u); r > t {
+			t = r
+		}
+	}
+	return t
+}
+
+// slotFree reports whether an instruction of the given branchness could
+// still issue at cycle t given the slots already consumed.
+func (s *IssueState) slotFree(t int, isBranch bool) bool {
+	if t > s.cycle {
+		return true
+	}
+	// t == s.cycle: check consumed slots.
+	if isBranch {
+		return s.branch < s.m.BranchPerCycle
+	}
+	return s.nonBranch < s.m.IssueWidth
+}
+
+// pickUnit returns the unit among candidates that is free earliest at or
+// after cycle t, and the cycle it becomes usable.
+func (s *IssueState) pickUnit(units []Unit, t int) (Unit, int) {
+	best := units[0]
+	bestAt := s.unitFree[best]
+	for _, u := range units[1:] {
+		if s.unitFree[u] < bestAt {
+			best, bestAt = u, s.unitFree[u]
+		}
+	}
+	if bestAt < t {
+		bestAt = t
+	}
+	return best, bestAt
+}
+
+// EarliestStart returns the earliest cycle at which in could issue given
+// the current state, without modifying the state.
+func (s *IssueState) EarliestStart(in *ir.Instr) int {
+	t := s.operandsReady(in)
+	if t < s.cycle {
+		t = s.cycle
+	}
+	isBranch := in.Op.IsBranchOp()
+	units := s.m.UnitsFor(in.Op)
+	for {
+		tu := t
+		if len(units) > 0 {
+			_, tu = s.pickUnit(units, t)
+		}
+		if tu > t {
+			t = tu
+			continue
+		}
+		if s.slotFree(t, isBranch) {
+			return t
+		}
+		t++
+	}
+}
+
+// Issue commits in to the schedule at its earliest start and returns that
+// start cycle.
+func (s *IssueState) Issue(in *ir.Instr) int {
+	t := s.EarliestStart(in)
+	isBranch := in.Op.IsBranchOp()
+	if t > s.cycle {
+		s.cycle = t
+		s.nonBranch = 0
+		s.branch = 0
+	}
+	if isBranch {
+		s.branch++
+	} else {
+		s.nonBranch++
+	}
+	tm := s.m.Timing[in.Op]
+	if units := s.m.UnitsFor(in.Op); len(units) > 0 {
+		u, _ := s.pickUnit(units, t)
+		if tm.Pipelined {
+			s.unitFree[u] = t + 1
+		} else {
+			s.unitFree[u] = t + tm.Latency
+		}
+	}
+	done := t + tm.Latency
+	for _, d := range in.Defs {
+		// Output dependence: with in-order completion a newer write
+		// never makes the value available earlier than an older
+		// in-flight write, so ready times are monotone.
+		if done > s.ready(d) {
+			s.setReady(d, done)
+		}
+	}
+	if done > s.makespan {
+		s.makespan = done
+	}
+	return t
+}
+
+// AdvanceTo moves the issue clock forward to at least cycle t (used by the
+// whole-program simulator to charge branch bubbles between blocks).
+func (s *IssueState) AdvanceTo(t int) {
+	if t > s.cycle {
+		s.cycle = t
+		s.nonBranch = 0
+		s.branch = 0
+	}
+	if t > s.makespan {
+		s.makespan = t
+	}
+}
+
+// Cycle returns the current issue cycle.
+func (s *IssueState) Cycle() int { return s.cycle }
+
+// Makespan returns the completion cycle of the latest-finishing
+// instruction issued so far.
+func (s *IssueState) Makespan() int { return s.makespan }
+
+// EstimateCost runs the simplified block timing simulator: it issues the
+// instructions in the given order from a cold pipeline and returns the
+// block's makespan in cycles. This is the estimator used both to label
+// training instances and by the list scheduler's ready-choice rule.
+func EstimateCost(m *Model, instrs []ir.Instr) int {
+	s := NewIssueState(m)
+	for i := range instrs {
+		s.Issue(&instrs[i])
+	}
+	return s.Makespan()
+}
+
+// EstimateBlockCost is EstimateCost applied to a basic block.
+func EstimateBlockCost(m *Model, b *ir.Block) int {
+	return EstimateCost(m, b.Instrs)
+}

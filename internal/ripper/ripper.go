@@ -1,0 +1,146 @@
+// Package ripper implements the Ripper rule-induction algorithm of Cohen
+// (ICML 1995) for binary classification over numeric attributes: IREP*
+// (FOIL-gain rule growing, incremental reduced-error pruning, MDL-based
+// stopping) followed by Ripper's rule-optimization passes.
+//
+// This is the learner the paper uses to induce scheduling filters. It
+// produces ordered rule lists predicting the positive class, with a default
+// of the negative class — exactly the shape shown in the paper's Figure 4,
+// including per-rule matched/mismatched training counts.
+package ripper
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a labelled training set. Row i of X is an attribute vector;
+// Y[i] is true for the positive class (the class the rules predict).
+type Dataset struct {
+	Names []string
+	X     [][]float64
+	Y     []bool
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends one instance.
+func (d *Dataset) Add(x []float64, y bool) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Counts returns the number of positive and negative instances.
+func (d *Dataset) Counts() (pos, neg int) {
+	for _, y := range d.Y {
+		if y {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return
+}
+
+// Condition is one numeric test: attribute <= value or attribute >= value.
+type Condition struct {
+	Attr int
+	LE   bool
+	Val  float64
+}
+
+// Match reports whether x satisfies the condition.
+func (c Condition) Match(x []float64) bool {
+	if c.LE {
+		return x[c.Attr] <= c.Val
+	}
+	return x[c.Attr] >= c.Val
+}
+
+func (c Condition) format(names []string) string {
+	name := fmt.Sprintf("a%d", c.Attr)
+	if c.Attr < len(names) {
+		name = names[c.Attr]
+	}
+	op := ">="
+	if c.LE {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s %s", name, op, trimFloat(c.Val))
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Rule is a conjunction of conditions predicting the positive class.
+// An empty rule covers everything.
+type Rule struct {
+	Conds []Condition
+	// TP and FP are the rule's correct/incorrect matches on the
+	// training set, in Figure-4 style; filled in by Induce.
+	TP, FP int
+}
+
+// Covers reports whether the rule's conditions all hold on x.
+func (r *Rule) Covers(x []float64) bool {
+	for _, c := range r.Conds {
+		if !c.Match(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Rule) clone() Rule {
+	return Rule{Conds: append([]Condition(nil), r.Conds...), TP: r.TP, FP: r.FP}
+}
+
+// RuleSet is an ordered rule list: the first covering rule predicts the
+// positive class; otherwise the default (negative) class applies.
+type RuleSet struct {
+	Names    []string
+	Rules    []Rule
+	PosLabel string
+	NegLabel string
+	// DefaultTP and DefaultFP are the default rule's correct/incorrect
+	// counts on the training set.
+	DefaultTP, DefaultFP int
+}
+
+// Predict returns true (positive class) if any rule covers x.
+func (rs *RuleSet) Predict(x []float64) bool {
+	for i := range rs.Rules {
+		if rs.Rules[i].Covers(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorRate returns the fraction of ds misclassified by the rule set.
+func (rs *RuleSet) ErrorRate(ds *Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range ds.X {
+		if rs.Predict(ds.X[i]) != ds.Y[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(ds.Len())
+}
+
+// NumConditions returns the total condition count across rules.
+func (rs *RuleSet) NumConditions() int {
+	n := 0
+	for i := range rs.Rules {
+		n += len(rs.Rules[i].Conds)
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+package ripper
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the rule set in the paper's Figure-4 style:
+//
+//	( 924/ 12) list :- bbLen >= 7, calls <= 0.0857, loads >= 0.3793.
+//	(27476/1946) orig :- .
+//
+// The two leading numbers are the correct and incorrect training matches
+// of each rule; the final line is the default rule.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		fmt.Fprintf(&b, "(%5d/%4d) %s :- ", r.TP, r.FP, rs.PosLabel)
+		for j, c := range r.Conds {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.format(rs.Names))
+		}
+		b.WriteString(".\n")
+	}
+	fmt.Fprintf(&b, "(%5d/%4d) %s :- .\n", rs.DefaultTP, rs.DefaultFP, rs.NegLabel)
+	return b.String()
+}
+
+// Parse reads a rule set in the String format. Attribute names are
+// resolved against names; unknown attributes are an error.
+func Parse(text string, names []string) (*RuleSet, error) {
+	rs := &RuleSet{Names: append([]string(nil), names...)}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tp, fp, rest, err := parseCounts(line)
+		if err != nil {
+			return nil, fmt.Errorf("ripper: line %d: %v", lineNo, err)
+		}
+		head, body, ok := strings.Cut(rest, ":-")
+		if !ok {
+			return nil, fmt.Errorf("ripper: line %d: missing ':-'", lineNo)
+		}
+		label := strings.TrimSpace(head)
+		body = strings.TrimSuffix(strings.TrimSpace(body), ".")
+		body = strings.TrimSpace(body)
+		if body == "" {
+			// Default rule.
+			rs.NegLabel = label
+			rs.DefaultTP, rs.DefaultFP = tp, fp
+			continue
+		}
+		if rs.PosLabel == "" {
+			rs.PosLabel = label
+		} else if rs.PosLabel != label {
+			return nil, fmt.Errorf("ripper: line %d: mixed labels %q and %q", lineNo, rs.PosLabel, label)
+		}
+		rule := Rule{TP: tp, FP: fp}
+		for _, part := range strings.Split(body, ",") {
+			cond, err := parseCondition(strings.TrimSpace(part), names)
+			if err != nil {
+				return nil, fmt.Errorf("ripper: line %d: %v", lineNo, err)
+			}
+			rule.Conds = append(rule.Conds, cond)
+		}
+		rs.Rules = append(rs.Rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rs.NegLabel == "" {
+		rs.NegLabel = "neg"
+	}
+	if rs.PosLabel == "" {
+		rs.PosLabel = "pos"
+	}
+	return rs, nil
+}
+
+func parseCounts(line string) (tp, fp int, rest string, err error) {
+	if !strings.HasPrefix(line, "(") {
+		return 0, 0, "", fmt.Errorf("missing '(' counts prefix")
+	}
+	close := strings.IndexByte(line, ')')
+	if close < 0 {
+		return 0, 0, "", fmt.Errorf("missing ')'")
+	}
+	inner := line[1:close]
+	a, b, ok := strings.Cut(inner, "/")
+	if !ok {
+		return 0, 0, "", fmt.Errorf("counts %q missing '/'", inner)
+	}
+	tp, err = strconv.Atoi(strings.TrimSpace(a))
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("bad count %q", a)
+	}
+	fp, err = strconv.Atoi(strings.TrimSpace(b))
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("bad count %q", b)
+	}
+	return tp, fp, line[close+1:], nil
+}
+
+func parseCondition(s string, names []string) (Condition, error) {
+	var op string
+	var le bool
+	switch {
+	case strings.Contains(s, "<="):
+		op, le = "<=", true
+	case strings.Contains(s, ">="):
+		op, le = ">=", false
+	default:
+		return Condition{}, fmt.Errorf("condition %q missing <= or >=", s)
+	}
+	lhs, rhs, _ := strings.Cut(s, op)
+	name := strings.TrimSpace(lhs)
+	attr := -1
+	for i, n := range names {
+		if n == name {
+			attr = i
+			break
+		}
+	}
+	if attr < 0 {
+		return Condition{}, fmt.Errorf("unknown attribute %q", name)
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+	if err != nil {
+		return Condition{}, fmt.Errorf("bad value in %q", s)
+	}
+	return Condition{Attr: attr, LE: le, Val: val}, nil
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// Result reports what the list scheduler did to one block.
+type Result struct {
+	// Order maps output position to original instruction index.
+	Order []int
+	// CostBefore and CostAfter are the estimator's block makespans for
+	// the original and the scheduled order.
+	CostBefore int
+	CostAfter  int
+	// Changed reports whether the instruction order actually changed.
+	Changed bool
+}
+
+// ScheduleInstrs runs critical-path list scheduling over one instruction
+// sequence and returns the new order plus cost accounting.
+//
+// The algorithm is the paper's CPS: start from an empty schedule and
+// repeatedly append a ready instruction (one whose dependence predecessors
+// are all scheduled). Among ready instructions, choose the one that can
+// start soonest under the machine model; break ties by the longest
+// latency-weighted critical path to the end of the block, then by original
+// program order (for determinism).
+func ScheduleInstrs(m *machine.Model, instrs []ir.Instr) Result {
+	if len(instrs) == 0 {
+		return Result{}
+	}
+	return ScheduleDAG(m, instrs, BuildDAG(m, instrs))
+}
+
+// ScheduleDAG runs CPS over a caller-supplied dependence DAG — the hook
+// superblock scheduling uses to relax the block-terminal rules for
+// internal branches.
+func ScheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG) Result {
+	n := len(instrs)
+	res := Result{Order: make([]int, 0, n)}
+	if n == 0 {
+		return res
+	}
+	cp := dag.CriticalPaths(m, instrs)
+
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(dag.Pred[i])
+	}
+	ready := make([]int, 0, n)
+	inReady := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+			inReady[i] = true
+		}
+	}
+
+	state := machine.NewIssueState(m)
+	for len(res.Order) < n {
+		best := -1
+		bestStart, bestCP := 0, 0
+		for _, i := range ready {
+			es := state.EarliestStart(&instrs[i])
+			switch {
+			case best == -1,
+				es < bestStart,
+				es == bestStart && cp[i] > bestCP,
+				es == bestStart && cp[i] == bestCP && i < best:
+				best, bestStart, bestCP = i, es, cp[i]
+			}
+		}
+		state.Issue(&instrs[best])
+		res.Order = append(res.Order, best)
+		// Remove best from the ready list.
+		for k, i := range ready {
+			if i == best {
+				ready[k] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				break
+			}
+		}
+		for _, e := range dag.Succ[best] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 && !inReady[e.To] {
+				ready = append(ready, e.To)
+				inReady[e.To] = true
+			}
+		}
+	}
+
+	res.CostAfter = state.Makespan()
+	res.CostBefore = EstimateCost(m, instrs)
+	for pos, idx := range res.Order {
+		if pos != idx {
+			res.Changed = true
+			break
+		}
+	}
+	return res
+}
+
+// EstimateCost returns the estimator makespan of the sequence in its
+// current order (convenience re-export of machine.EstimateCost).
+func EstimateCost(m *machine.Model, instrs []ir.Instr) int {
+	return machine.EstimateCost(m, instrs)
+}
+
+// Apply returns the instruction sequence reordered per the result.
+func (r Result) Apply(instrs []ir.Instr) []ir.Instr {
+	out := make([]ir.Instr, len(r.Order))
+	for pos, idx := range r.Order {
+		out[pos] = instrs[idx]
+	}
+	return out
+}
+
+// ScheduleBlock list-schedules a block in place, returning the result.
+// The block's instruction slice is replaced with the scheduled order.
+func ScheduleBlock(m *machine.Model, b *ir.Block) Result {
+	res := ScheduleInstrs(m, b.Instrs)
+	if res.Changed {
+		b.Instrs = res.Apply(b.Instrs)
+	}
+	return res
+}

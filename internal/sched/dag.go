@@ -1,0 +1,232 @@
+// Package sched implements dependence analysis over basic blocks and the
+// critical-path list scheduler (CPS) of Cavazos & Moss (PLDI 2004),
+// following the classical formulation in Muchnick's Advanced Compiler
+// Design & Implementation.
+package sched
+
+import (
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// Edge is a scheduling dependence: the successor instruction may not start
+// until Latency cycles after the predecessor starts.
+type Edge struct {
+	To      int
+	Latency int
+}
+
+// DAG is the dependence graph of one basic block. Node i is the i'th
+// instruction of the block in original program order.
+type DAG struct {
+	N    int
+	Succ [][]Edge
+	Pred [][]Edge
+
+	// edgeSet dedupes edges, keeping the maximum latency per pair.
+	edgeSet map[int64]int
+}
+
+func (d *DAG) addEdge(from, to, lat int) {
+	if from == to {
+		return
+	}
+	key := int64(from)<<32 | int64(to)
+	if idx, ok := d.edgeSet[key]; ok {
+		if d.Succ[from][idx].Latency < lat {
+			d.Succ[from][idx].Latency = lat
+			for i := range d.Pred[to] {
+				if d.Pred[to][i].To == from {
+					d.Pred[to][i].Latency = lat
+					break
+				}
+			}
+		}
+		return
+	}
+	d.edgeSet[key] = len(d.Succ[from])
+	d.Succ[from] = append(d.Succ[from], Edge{To: to, Latency: lat})
+	d.Pred[to] = append(d.Pred[to], Edge{To: from, Latency: lat})
+}
+
+// NumEdges returns the number of distinct dependence edges.
+func (d *DAG) NumEdges() int { return len(d.edgeSet) }
+
+// HasPath reports whether a dependence path leads from i to j (i before j).
+// Exported for property tests verifying order preservation.
+func (d *DAG) HasPath(i, j int) bool {
+	if i == j {
+		return true
+	}
+	seen := make([]bool, d.N)
+	stack := []int{i}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == j {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range d.Succ[n] {
+			if !seen[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// BuildDAG computes the dependence DAG of the instruction sequence under
+// the model's latencies. The dependence rules follow the paper:
+//
+//   - two instructions are dependent if they access the same register and
+//     at least one writes it (true/anti/output dependences);
+//   - memory operations conflict conservatively (store↔load, store↔store);
+//   - every instruction is dependent with the block-terminating branch;
+//   - hazards "disallow reordering": potentially-excepting instructions
+//     stay ordered among themselves, stores may not cross a PEI (exception
+//     state must be precise), and no memory operation or PEI may cross a
+//     call, allocation, GC/yield/thread-switch point.
+//
+// Guard registers (defined by null/bounds checks, used by the guarded
+// memory access) flow through the ordinary register rules, so a load never
+// hoists above its own check while independent loads stay mobile.
+func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
+	n := len(instrs)
+	d := &DAG{
+		N:       n,
+		Succ:    make([][]Edge, n),
+		Pred:    make([][]Edge, n),
+		edgeSet: make(map[int64]int),
+	}
+
+	lastDef := make(map[ir.Reg]int)
+	lastUses := make(map[ir.Reg][]int)
+
+	var loads, stores, peis []int
+	lastBarrier := -1
+
+	for i := range instrs {
+		in := &instrs[i]
+
+		// Register dependences.
+		for _, u := range in.Uses {
+			if di, ok := lastDef[u]; ok {
+				d.addEdge(di, i, m.Latency(instrs[di].Op)) // true
+			}
+		}
+		for _, def := range in.Defs {
+			if di, ok := lastDef[def]; ok {
+				d.addEdge(di, i, 1) // output
+			}
+			for _, ui := range lastUses[def] {
+				d.addEdge(ui, i, 0) // anti
+			}
+		}
+		for _, u := range in.Uses {
+			lastUses[u] = append(lastUses[u], i)
+		}
+		for _, def := range in.Defs {
+			lastDef[def] = i
+			lastUses[def] = lastUses[def][:0]
+		}
+
+		op := in.Op
+		isLoad := op.Is(ir.CatLoad)
+		isStore := op.Is(ir.CatStore)
+		isPEI := op.Is(ir.CatPEI)
+		isBarrier := op.IsCallLike() || op.Is(ir.CatGCPoint|ir.CatTSPoint|ir.CatYieldPoint)
+		isBranch := op.IsBranchOp()
+
+		// Memory dependences.
+		if isLoad {
+			for _, si := range stores {
+				d.addEdge(si, i, m.Latency(instrs[si].Op))
+			}
+		}
+		if isStore {
+			for _, si := range stores {
+				d.addEdge(si, i, 1)
+			}
+			for _, li := range loads {
+				d.addEdge(li, i, 0)
+			}
+			// Precise exception state: a store may not move above a
+			// potentially-excepting instruction, nor a PEI above a store.
+			for _, pi := range peis {
+				d.addEdge(pi, i, 0)
+			}
+		}
+		if isPEI {
+			for _, pi := range peis {
+				d.addEdge(pi, i, 0) // exceptions stay in order
+			}
+			for _, si := range stores {
+				d.addEdge(si, i, 1)
+			}
+		}
+
+		// Calls and hazard points: no memory op or PEI crosses them.
+		if isBarrier {
+			for _, x := range loads {
+				d.addEdge(x, i, 0)
+			}
+			for _, x := range stores {
+				d.addEdge(x, i, 1)
+			}
+			for _, x := range peis {
+				d.addEdge(x, i, 0)
+			}
+			if lastBarrier >= 0 {
+				d.addEdge(lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
+			}
+			lastBarrier = i
+			// Everything tracked so far is now ordered through the
+			// barrier; later memory ops need only an edge from the
+			// barrier itself (dependence is transitive).
+			loads, stores, peis = loads[:0], stores[:0], peis[:0]
+		} else if lastBarrier >= 0 && (isLoad || isStore || isPEI) {
+			d.addEdge(lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
+		}
+
+		// The block terminator depends on everything before it.
+		if isBranch && i == n-1 {
+			for j := 0; j < i; j++ {
+				d.addEdge(j, i, 0)
+			}
+		}
+
+		if isLoad {
+			loads = append(loads, i)
+		}
+		if isStore {
+			stores = append(stores, i)
+		}
+		if isPEI && !isBarrier {
+			peis = append(peis, i)
+		}
+	}
+	return d
+}
+
+// CriticalPaths returns, for every instruction, the length in cycles of
+// the longest (latency-weighted) dependence path from that instruction to
+// the end of the block — the CPS tie-breaking priority.
+func (d *DAG) CriticalPaths(m *machine.Model, instrs []ir.Instr) []int {
+	cp := make([]int, d.N)
+	// Nodes in original order form a topological order (edges only go
+	// forward), so a reverse sweep suffices.
+	for i := d.N - 1; i >= 0; i-- {
+		best := m.Latency(instrs[i].Op)
+		for _, e := range d.Succ[i] {
+			if v := e.Latency + cp[e.To]; v > best {
+				best = v
+			}
+		}
+		cp[i] = best
+	}
+	return cp
+}

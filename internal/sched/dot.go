@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"schedfilter/internal/ir"
+)
+
+// Dot renders the dependence DAG in Graphviz format, one node per
+// instruction labelled with its index, mnemonic, and critical-path length;
+// edges carry their latencies. Useful for debugging scheduling decisions:
+//
+//	dot -Tsvg block.dot -o block.svg
+func (d *DAG) Dot(instrs []ir.Instr, cp []int) string {
+	var b strings.Builder
+	b.WriteString("digraph block {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i := range instrs {
+		label := fmt.Sprintf("%d: %s", i, instrs[i].String())
+		if cp != nil && i < len(cp) {
+			label += fmt.Sprintf("\\ncp=%d", cp[i])
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", i, escapeDot(label))
+	}
+	for i := range d.Succ {
+		for _, e := range d.Succ[i] {
+			if e.Latency > 0 {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", i, e.To, e.Latency)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", i, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	// Preserve the explicit line break we inserted.
+	s = strings.ReplaceAll(s, `\\n`, `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

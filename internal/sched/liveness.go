@@ -1,0 +1,112 @@
+package sched
+
+import "schedfilter/internal/ir"
+
+// Register liveness over post-allocation machine code: everything is a
+// physical register (guards, which are virtual scheduling artifacts, are
+// ignored). Superblock scheduling needs live-in sets of off-trace exit
+// targets to decide which instructions may move across a conditional
+// branch.
+
+// RegSet is a set of physical registers across the three register files.
+type RegSet struct {
+	Int   uint32
+	Float uint32
+	Cond  uint8
+}
+
+// Add inserts a physical register; virtual registers and guards are
+// ignored.
+func (s *RegSet) Add(r ir.Reg) {
+	if !r.IsPhys() {
+		return
+	}
+	switch r.Class {
+	case ir.ClassInt:
+		s.Int |= 1 << uint(r.N)
+	case ir.ClassFloat:
+		s.Float |= 1 << uint(r.N)
+	case ir.ClassCond:
+		s.Cond |= 1 << uint(r.N)
+	}
+}
+
+// Has reports membership (false for virtual registers).
+func (s RegSet) Has(r ir.Reg) bool {
+	if !r.IsPhys() {
+		return false
+	}
+	switch r.Class {
+	case ir.ClassInt:
+		return s.Int&(1<<uint(r.N)) != 0
+	case ir.ClassFloat:
+		return s.Float&(1<<uint(r.N)) != 0
+	case ir.ClassCond:
+		return s.Cond&(1<<uint(r.N)) != 0
+	}
+	return false
+}
+
+// Union merges o into s, reporting whether s changed.
+func (s *RegSet) Union(o RegSet) bool {
+	ni, nf, nc := s.Int|o.Int, s.Float|o.Float, s.Cond|o.Cond
+	changed := ni != s.Int || nf != s.Float || nc != s.Cond
+	s.Int, s.Float, s.Cond = ni, nf, nc
+	return changed
+}
+
+// Minus returns s with o's registers removed.
+func (s RegSet) Minus(o RegSet) RegSet {
+	return RegSet{Int: s.Int &^ o.Int, Float: s.Float &^ o.Float, Cond: s.Cond &^ o.Cond}
+}
+
+// Liveness computes per-block live-in and live-out register sets for a
+// function by backward dataflow to a fixed point.
+//
+// The analysis is conservative about the runtime: BLR's uses (the return
+// register) and every instruction's explicit uses are honoured, and since
+// the call protocol restores registers around BL, a call neither kills nor
+// exposes caller registers beyond its explicit operands.
+func Liveness(fn *ir.Fn) (liveIn, liveOut []RegSet) {
+	n := len(fn.Blocks)
+	liveIn = make([]RegSet, n)
+	liveOut = make([]RegSet, n)
+
+	// Per-block gen (upward-exposed uses) and kill (defs) sets.
+	gen := make([]RegSet, n)
+	kill := make([]RegSet, n)
+	for bi, b := range fn.Blocks {
+		var g, k RegSet
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, u := range in.Uses {
+				if !k.Has(u) {
+					g.Add(u)
+				}
+			}
+			for _, d := range in.Defs {
+				k.Add(d)
+			}
+		}
+		gen[bi], kill[bi] = g, k
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			var out RegSet
+			for _, s := range fn.Blocks[bi].Succs {
+				out.Union(liveIn[s])
+			}
+			if liveOut[bi].Union(out) {
+				changed = true
+			}
+			in := gen[bi]
+			in.Union(liveOut[bi].Minus(kill[bi]))
+			if liveIn[bi].Union(in) {
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,497 @@
+// Package sim executes machine-IR programs. It is both the functional
+// runtime (heap, call protocol, runtime services) used for differential
+// testing against the bytecode interpreter, and — in timed mode — the
+// whole-program cycle simulator behind the paper's "application running
+// time" measurements: one in-order issue pipeline carried across basic
+// blocks, with a bubble charged on taken control transfers.
+//
+// Simplifications versus real silicon, documented per the paper's own
+// argument that only relative block timings matter: no caches (every load
+// hits), a fixed taken-branch bubble instead of a branch predictor, and a
+// "magic ABI" call protocol — the runtime saves and restores the full
+// register file around calls (except return-value registers) and allocates
+// spill frames itself. Allocation is a bump allocator; GC safe points
+// exist but collection never triggers.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// Memory layout (word addresses).
+const (
+	// GlobalBase is where global slot 0 lives; r2 points here.
+	GlobalBase = 16
+	// DefaultMemWords is the default memory size (32 MiB).
+	DefaultMemWords = 1 << 22
+)
+
+// Config controls a run.
+type Config struct {
+	// MemWords sizes the flat word-addressed memory; 0 means
+	// DefaultMemWords.
+	MemWords int
+	// Timed enables the cycle pipeline (requires Model).
+	Timed bool
+	// Model is the machine timing model for timed runs.
+	Model *machine.Model
+	// StepLimit bounds executed instructions; 0 means a generous
+	// default.
+	StepLimit int64
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Ret is main's return value (r3 at exit).
+	Ret int64
+	// Output records runtime prints, formatted identically to the
+	// bytecode interpreter ("i:<v>" / "f:<v>").
+	Output []string
+	// DynInstrs counts executed machine instructions.
+	DynInstrs int64
+	// Cycles is the pipeline makespan (timed runs only).
+	Cycles int64
+	// ExecCounts[fn][block] counts block entries (the profile used for
+	// the paper's weighted simulated-time metric).
+	ExecCounts [][]int64
+	// TakenCounts[fn][block] counts how often the block's terminating
+	// conditional branch was taken (zero for blocks ending in B/BLR).
+	// Together with ExecCounts this gives the edge profile superblock
+	// formation needs.
+	TakenCounts [][]int64
+}
+
+// Trap is a machine-level runtime error (the hardware analogue of a Java
+// exception).
+type Trap struct {
+	Fn   string
+	Kind string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("sim: %s in %s", t.Kind, t.Fn) }
+
+// State is the architectural state, exposed so tests can execute single
+// blocks from arbitrary starting points.
+type State struct {
+	Regs  [ir.NumGPR]int64
+	FRegs [ir.NumFPR]float64
+	CRs   [ir.NumCond]int8
+	Mem   []uint64
+
+	// Guard results: guards are virtual, unbounded; stored sparsely.
+	// Functionally they carry nothing, but keeping the map allows
+	// debugging assertions.
+	heapPtr int64
+	out     []string
+}
+
+// NewState allocates a zeroed machine state with the given memory size.
+func NewState(memWords int) *State {
+	if memWords <= 0 {
+		memWords = DefaultMemWords
+	}
+	s := &State{Mem: make([]uint64, memWords)}
+	s.heapPtr = GlobalBase // heap starts after globals once layout is known
+	return s
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Mem = append([]uint64(nil), s.Mem...)
+	c.out = append([]string(nil), s.out...)
+	return &c
+}
+
+// Equal reports whether two states have identical registers and memory.
+// Guard and output history are excluded.
+func (s *State) Equal(o *State) bool {
+	if s.Regs != o.Regs || s.CRs != o.CRs {
+		return false
+	}
+	for i := range s.FRegs {
+		a, b := s.FRegs[i], o.FRegs[i]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			return false
+		}
+	}
+	if len(s.Mem) != len(o.Mem) {
+		return false
+	}
+	for i := range s.Mem {
+		if s.Mem[i] != o.Mem[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type frame struct {
+	fn, blk, idx int
+	regs         [ir.NumGPR]int64
+	fregs        [ir.NumFPR]float64
+	crs          [ir.NumCond]int8
+}
+
+// Run executes the program from its entry function.
+func Run(p *ir.Program, cfg Config) (*Result, error) {
+	st := NewState(cfg.MemWords)
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = 1 << 33
+	}
+	res := &Result{
+		ExecCounts:  make([][]int64, len(p.Fns)),
+		TakenCounts: make([][]int64, len(p.Fns)),
+	}
+	for i, f := range p.Fns {
+		res.ExecCounts[i] = make([]int64, len(f.Blocks))
+		res.TakenCounts[i] = make([]int64, len(f.Blocks))
+	}
+
+	// Layout: globals at GlobalBase, heap after, stack at the top.
+	st.heapPtr = int64(GlobalBase + p.Globals)
+	st.Regs[2] = GlobalBase
+	st.Regs[1] = int64(len(st.Mem))
+
+	var issue *machine.IssueState
+	if cfg.Timed {
+		if cfg.Model == nil {
+			return nil, fmt.Errorf("sim: timed run requires a model")
+		}
+		issue = machine.NewIssueState(cfg.Model)
+	}
+
+	ex := &executor{p: p, st: st, res: res, issue: issue, limit: limit,
+		bubble: 1}
+	if cfg.Model != nil {
+		ex.bubble = cfg.Model.TakenBranchBubble
+	}
+
+	// Run $init (global initializers) before main, as the runtime does.
+	if init := fnIndexByName(p, "$init"); init >= 0 {
+		if err := ex.callAndRun(init); err != nil {
+			return nil, err
+		}
+	}
+	if err := ex.callAndRun(p.Entry); err != nil {
+		return nil, err
+	}
+	res.Ret = st.Regs[3]
+	res.Output = st.out
+	if issue != nil {
+		res.Cycles = int64(issue.Makespan())
+	}
+	return res, nil
+}
+
+func fnIndexByName(p *ir.Program, name string) int {
+	for i, f := range p.Fns {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+type executor struct {
+	p      *ir.Program
+	st     *State
+	res    *Result
+	issue  *machine.IssueState
+	frames []frame
+	limit  int64
+	bubble int
+}
+
+// callAndRun invokes fn as the runtime would (fresh frame, run to return)
+// and returns when the outermost call completes.
+func (ex *executor) callAndRun(fnIdx int) error {
+	baseDepth := len(ex.frames)
+	ex.frames = append(ex.frames, frame{fn: -1}) // sentinel: return to runtime
+	ex.st.Regs[1] -= int64(ex.p.Fns[fnIdx].FrameSlots)
+
+	fn, blk, idx := fnIdx, ex.p.Fns[fnIdx].Entry, 0
+	st := ex.st
+	for {
+		f := ex.p.Fns[fn]
+		if idx == 0 {
+			ex.res.ExecCounts[fn][blk]++
+		}
+		b := f.Blocks[blk]
+		if idx >= len(b.Instrs) {
+			return fmt.Errorf("sim: control ran off the end of %s block %d", f.Name, blk)
+		}
+		in := &b.Instrs[idx]
+		ex.res.DynInstrs++
+		if ex.res.DynInstrs > ex.limit {
+			return fmt.Errorf("sim: step limit (%d) exceeded in %s", ex.limit, f.Name)
+		}
+		if ex.issue != nil {
+			ex.issue.Issue(in)
+		}
+
+		switch in.Op {
+		case ir.B:
+			blk, idx = in.Target, 0
+			ex.chargeBubble()
+			continue
+		case ir.BC:
+			if ir.EvalCond(in.Imm, st.CRs[in.Uses[0].N]) {
+				ex.res.TakenCounts[fn][blk]++
+				blk, idx = in.Target, 0
+				ex.chargeBubble()
+			} else {
+				blk, idx = b.Succs[1], 0
+			}
+			continue
+		case ir.BL:
+			callee := ex.p.Fns[in.Target]
+			fr := frame{fn: fn, blk: blk, idx: idx + 1}
+			fr.regs = st.Regs
+			fr.fregs = st.FRegs
+			fr.crs = st.CRs
+			ex.frames = append(ex.frames, fr)
+			st.Regs[1] -= int64(callee.FrameSlots)
+			if st.Regs[1] <= st.heapPtr {
+				return &Trap{Fn: callee.Name, Kind: "stack overflow"}
+			}
+			fn, blk, idx = in.Target, callee.Entry, 0
+			ex.chargeBubble()
+			continue
+		case ir.BLR:
+			fr := ex.frames[len(ex.frames)-1]
+			ex.frames = ex.frames[:len(ex.frames)-1]
+			if fr.fn < 0 {
+				// Returning to the runtime.
+				if len(ex.frames) != baseDepth {
+					return fmt.Errorf("sim: frame imbalance")
+				}
+				return nil
+			}
+			// The call protocol restores the caller's registers,
+			// then delivers the return value in exactly the declared
+			// return register (r3 or f1) — the other file is fully
+			// preserved, matching BL's declared Defs.
+			retI, retF := st.Regs[3], st.FRegs[1]
+			st.Regs = fr.regs
+			st.FRegs = fr.fregs
+			st.CRs = fr.crs
+			if f.RetFloat {
+				st.FRegs[1] = retF
+			} else {
+				st.Regs[3] = retI
+			}
+			fn, blk, idx = fr.fn, fr.blk, fr.idx
+			ex.chargeBubble()
+			continue
+		}
+
+		if err := ex.st.step(in, ex.p.Fns[fn].Name); err != nil {
+			return err
+		}
+		idx++
+	}
+}
+
+func (ex *executor) chargeBubble() {
+	if ex.issue != nil && ex.bubble > 0 {
+		ex.issue.AdvanceTo(ex.issue.Cycle() + ex.bubble)
+	}
+}
+
+// step executes one non-control instruction against the state.
+func (s *State) step(in *ir.Instr, fnName string) error {
+	R := func(i int) int64 { return s.Regs[in.Uses[i].N] }
+	F := func(i int) float64 { return s.FRegs[in.Uses[i].N] }
+	setI := func(v int64) { s.Regs[in.Defs[0].N] = v }
+	setF := func(v float64) { s.FRegs[in.Defs[0].N] = v }
+
+	switch in.Op {
+	case ir.NOP, ir.YIELDPOINT, ir.TSPOINT:
+	case ir.ADD:
+		setI(R(0) + R(1))
+	case ir.SUB:
+		setI(R(0) - R(1))
+	case ir.MULL:
+		setI(R(0) * R(1))
+	case ir.DIVW:
+		if R(1) == 0 {
+			return &Trap{Fn: fnName, Kind: "divide by zero"}
+		}
+		setI(R(0) / R(1))
+	case ir.NEG:
+		setI(-R(0))
+	case ir.AND:
+		setI(R(0) & R(1))
+	case ir.OR:
+		setI(R(0) | R(1))
+	case ir.XOR:
+		setI(R(0) ^ R(1))
+	case ir.SLW:
+		setI(R(0) << uint64(R(1)&63))
+	case ir.SRAW:
+		setI(R(0) >> uint64(R(1)&63))
+	case ir.ADDI:
+		setI(R(0) + in.Imm)
+	case ir.ANDI:
+		setI(R(0) & in.Imm)
+	case ir.ORI:
+		setI(R(0) | in.Imm)
+	case ir.XORI:
+		setI(R(0) ^ in.Imm)
+	case ir.SLWI:
+		setI(R(0) << uint64(in.Imm&63))
+	case ir.SRAWI:
+		setI(R(0) >> uint64(in.Imm&63))
+	case ir.LI:
+		setI(in.Imm)
+	case ir.MR:
+		setI(R(0))
+	case ir.CMP:
+		s.CRs[in.Defs[0].N] = sign(R(0) - R(1))
+	case ir.CMPI:
+		s.CRs[in.Defs[0].N] = sign(R(0) - in.Imm)
+	case ir.FADD:
+		setF(F(0) + F(1))
+	case ir.FSUB:
+		setF(F(0) - F(1))
+	case ir.FMUL:
+		setF(F(0) * F(1))
+	case ir.FDIV:
+		setF(F(0) / F(1))
+	case ir.FNEG:
+		setF(-F(0))
+	case ir.FMR:
+		setF(F(0))
+	case ir.FCMP:
+		s.CRs[in.Defs[0].N] = fsign(F(0), F(1))
+	case ir.F2I:
+		setI(int64(F(0)))
+	case ir.I2F:
+		setF(float64(R(0)))
+	case ir.LFI:
+		setF(in.FImm)
+	case ir.LD:
+		v, err := s.load(R(0)+in.Imm, fnName)
+		if err != nil {
+			return err
+		}
+		setI(int64(v))
+	case ir.LDX:
+		v, err := s.load(R(0)+R(1), fnName)
+		if err != nil {
+			return err
+		}
+		setI(int64(v))
+	case ir.LFD:
+		v, err := s.load(R(0)+in.Imm, fnName)
+		if err != nil {
+			return err
+		}
+		setF(math.Float64frombits(v))
+	case ir.LFDX:
+		v, err := s.load(R(0)+R(1), fnName)
+		if err != nil {
+			return err
+		}
+		setF(math.Float64frombits(v))
+	case ir.ST:
+		return s.store(R(1)+in.Imm, uint64(R(0)), fnName)
+	case ir.STX:
+		return s.store(R(1)+R(2), uint64(R(0)), fnName)
+	case ir.STFD:
+		return s.store(R(1)+in.Imm, math.Float64bits(F(0)), fnName)
+	case ir.STFX:
+		return s.store(R(1)+R(2), math.Float64bits(F(0)), fnName)
+	case ir.ALLOC:
+		n := R(0)
+		if n < 0 {
+			return &Trap{Fn: fnName, Kind: "negative allocation"}
+		}
+		addr := s.heapPtr
+		if addr+n+1 >= s.Regs[1] {
+			return &Trap{Fn: fnName, Kind: "out of memory"}
+		}
+		s.Mem[addr] = uint64(n)
+		for i := int64(1); i <= n; i++ {
+			s.Mem[addr+i] = 0
+		}
+		s.heapPtr = addr + n + 1
+		setI(addr)
+	case ir.NULLCHECK:
+		if R(0) == 0 {
+			return &Trap{Fn: fnName, Kind: "null pointer"}
+		}
+	case ir.BOUNDSCHECK:
+		if R(0) < 0 || R(0) >= R(1) {
+			return &Trap{Fn: fnName, Kind: "index out of bounds"}
+		}
+	case ir.RTPRINTI:
+		s.out = append(s.out, "i:"+strconv.FormatInt(R(0), 10))
+	case ir.RTPRINTF:
+		s.out = append(s.out, "f:"+strconv.FormatFloat(F(0), 'g', 12, 64))
+	default:
+		return fmt.Errorf("sim: cannot execute %v", in.Op)
+	}
+	return nil
+}
+
+func (s *State) load(addr int64, fnName string) (uint64, error) {
+	if addr <= 0 || addr >= int64(len(s.Mem)) {
+		return 0, &Trap{Fn: fnName, Kind: fmt.Sprintf("bad load address %d", addr)}
+	}
+	return s.Mem[addr], nil
+}
+
+func (s *State) store(addr int64, v uint64, fnName string) error {
+	if addr <= 0 || addr >= int64(len(s.Mem)) {
+		return &Trap{Fn: fnName, Kind: fmt.Sprintf("bad store address %d", addr)}
+	}
+	s.Mem[addr] = v
+	return nil
+}
+
+func sign(v int64) int8 {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+func fsign(a, b float64) int8 {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ExecBlock executes the straight-line (non-control) prefix of a block
+// against the state, stopping at the first control-flow instruction. It is
+// the oracle for the scheduling semantics-preservation property: a block
+// and its scheduled permutation must leave identical states.
+func ExecBlock(st *State, b *ir.Block) error {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op.IsBranchOp() {
+			// Evaluate compare-dependent state only; control effects
+			// are outside a single block's semantics.
+			continue
+		}
+		if err := st.step(in, "block"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package training implements the paper's learning methodology: as the
+// JIT compiles each benchmark, every basic block yields a raw instance —
+// its cheap static features plus the simplified simulator's cost estimate
+// for the original order and for the list-scheduled order. Threshold
+// labelling turns raw instances into a Ripper training set (LS if
+// scheduling improved the estimate by more than t%, NS if it did not help
+// at all, dropped otherwise), and leave-one-out cross-validation trains a
+// filter for each benchmark on the other benchmarks' instances.
+package training
+
+import (
+	"fmt"
+
+	"schedfilter/internal/core"
+	"schedfilter/internal/features"
+	"schedfilter/internal/ir"
+	"schedfilter/internal/jit"
+	"schedfilter/internal/jolt"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+	"schedfilter/internal/sched"
+	"schedfilter/internal/sim"
+	"schedfilter/internal/workloads"
+)
+
+// BlockRecord is one raw training instance: a block's features, its
+// estimator costs under both orders, and its profiled execution count.
+type BlockRecord struct {
+	Fn     string
+	Block  int
+	Feat   features.Vector
+	CostNS int
+	CostLS int
+	Execs  int64
+}
+
+// BenchData is everything the evaluation needs about one benchmark.
+type BenchData struct {
+	Name    string
+	Suite   workloads.Suite
+	Records []BlockRecord
+	// Prog is the compiled (unscheduled) program; protocols clone it.
+	Prog *ir.Program
+}
+
+// Options bundle the compilation configuration the training pipeline (and
+// evaluation) uses for every benchmark.
+type Options struct {
+	// JIT configures inlining and code generation.
+	JIT jit.Options
+	// Frontend configures Jolt front-end passes (loop unrolling).
+	Frontend jolt.Options
+}
+
+// DefaultOptions mirror the paper's aggressive OptOpt configuration:
+// inlining (callee <= 30, depth <= 6, expansion <= 7x) plus 4-way loop
+// unrolling, which gives the block population enough large schedulable
+// blocks for the threshold sweep to have paper-like resolution.
+func DefaultOptions() Options {
+	return Options{
+		JIT:      jit.DefaultOptions(),
+		Frontend: jolt.Options{UnrollFactor: 4},
+	}
+}
+
+// Collect compiles the workload, runs the scheduler experimentally over a
+// copy of every block to obtain both cost estimates, and profiles block
+// execution counts with one functional run.
+func Collect(w *workloads.Workload, m *machine.Model, opts Options) (*BenchData, error) {
+	mod, err := w.CompileWithOptions(opts.Frontend)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := jit.Compile(mod, opts.JIT)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	res, err := sim.Run(prog, sim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: profiling run: %w", w.Name, err)
+	}
+
+	bd := &BenchData{Name: w.Name, Suite: w.Suite, Prog: prog}
+	for fi, fn := range prog.Fns {
+		for bi, b := range fn.Blocks {
+			r := sched.ScheduleInstrs(m, b.Instrs)
+			bd.Records = append(bd.Records, BlockRecord{
+				Fn:     fn.Name,
+				Block:  bi,
+				Feat:   features.ExtractBlock(b),
+				CostNS: r.CostBefore,
+				CostLS: r.CostAfter,
+				Execs:  res.ExecCounts[fi][bi],
+			})
+		}
+	}
+	return bd, nil
+}
+
+// CollectAll gathers BenchData for a set of workloads.
+func CollectAll(ws []workloads.Workload, m *machine.Model, opts Options) ([]*BenchData, error) {
+	var out []*BenchData
+	for i := range ws {
+		bd, err := Collect(&ws[i], m, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bd)
+	}
+	return out, nil
+}
+
+// LabelOf classifies one record at threshold t (percent): +1 for LS, -1
+// for NS, 0 for dropped (improvement in (0, t%]).
+func LabelOf(r *BlockRecord, t int) int {
+	if r.CostLS >= r.CostNS {
+		return -1
+	}
+	// Improvement strictly greater than t percent:
+	// costLS < costNS * (1 - t/100)  ⇔  100*costLS < costNS*(100-t).
+	if 100*r.CostLS < r.CostNS*(100-t) {
+		return +1
+	}
+	return 0
+}
+
+// Label builds a Ripper dataset from records at threshold t.
+func Label(recs []BlockRecord, t int) *ripper.Dataset {
+	ds := &ripper.Dataset{Names: features.Names[:]}
+	for i := range recs {
+		switch LabelOf(&recs[i], t) {
+		case +1:
+			ds.Add(recs[i].Feat.Slice(), true)
+		case -1:
+			ds.Add(recs[i].Feat.Slice(), false)
+		}
+	}
+	return ds
+}
+
+// LabelCounts returns the LS and NS instance counts at threshold t.
+func LabelCounts(recs []BlockRecord, t int) (ls, ns int) {
+	for i := range recs {
+		switch LabelOf(&recs[i], t) {
+		case +1:
+			ls++
+		case -1:
+			ns++
+		}
+	}
+	return
+}
+
+// TrainFilter induces a filter from the union of the given benchmarks'
+// instances at threshold t.
+func TrainFilter(data []*BenchData, t int, opt ripper.Options) *core.Induced {
+	ds := &ripper.Dataset{Names: features.Names[:]}
+	for _, bd := range data {
+		part := Label(bd.Records, t)
+		for i := range part.X {
+			ds.Add(part.X[i], part.Y[i])
+		}
+	}
+	rs := ripper.Induce(ds, opt)
+	return core.NewInduced(rs, fmt.Sprintf("L/N t=%d", t))
+}
+
+// LeaveOneOut trains a filter for the named benchmark using every OTHER
+// benchmark's instances, as the paper's cross-validation does.
+func LeaveOneOut(all []*BenchData, target string, t int, opt ripper.Options) *core.Induced {
+	var rest []*BenchData
+	for _, bd := range all {
+		if bd.Name != target {
+			rest = append(rest, bd)
+		}
+	}
+	f := TrainFilter(rest, t, opt)
+	f.Label = fmt.Sprintf("L/N t=%d (loo %s)", t, target)
+	return f
+}
+
+// ErrorRate evaluates a filter's classification error on the target
+// benchmark's labelled instances at threshold t (dropped instances are
+// excluded, as in the paper's test sets).
+func ErrorRate(f core.Filter, bd *BenchData, t int) float64 {
+	total, wrong := 0, 0
+	for i := range bd.Records {
+		lbl := LabelOf(&bd.Records[i], t)
+		if lbl == 0 {
+			continue
+		}
+		total++
+		pred := f.ShouldSchedule(bd.Records[i].Feat)
+		if pred != (lbl == +1) {
+			wrong++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(total)
+}
+
+// PredictedTime computes the paper's simulated running time:
+// SIM(P, π) = Σ_b execs(b) · estcost_π(b), with the filter choosing per
+// block between the scheduled and unscheduled cost estimate.
+func PredictedTime(bd *BenchData, f core.Filter) int64 {
+	var total int64
+	for i := range bd.Records {
+		r := &bd.Records[i]
+		c := r.CostNS
+		if f.ShouldSchedule(r.Feat) {
+			c = r.CostLS
+		}
+		total += r.Execs * int64(c)
+	}
+	return total
+}
+
+// Decisions counts how many blocks the filter sends to the scheduler
+// (run-time LS classifications) versus not.
+func Decisions(bd *BenchData, f core.Filter) (ls, ns int) {
+	for i := range bd.Records {
+		if f.ShouldSchedule(bd.Records[i].Feat) {
+			ls++
+		} else {
+			ns++
+		}
+	}
+	return
+}

@@ -1,0 +1,240 @@
+package training
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"schedfilter/internal/core"
+	"schedfilter/internal/features"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+	"schedfilter/internal/workloads"
+)
+
+func collectSuite1(t *testing.T) []*BenchData {
+	t.Helper()
+	m := machine.NewMPC7410()
+	data, err := CollectAll(workloads.Suite1(), m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestLabelOfThresholds(t *testing.T) {
+	r := BlockRecord{CostNS: 100, CostLS: 80} // 20% improvement
+	cases := []struct {
+		t    int
+		want int
+	}{
+		{0, +1}, {10, +1}, {19, +1}, {20, 0}, {25, 0}, {50, 0},
+	}
+	for _, c := range cases {
+		if got := LabelOf(&r, c.t); got != c.want {
+			t.Errorf("LabelOf(20%% improvement, t=%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	same := BlockRecord{CostNS: 100, CostLS: 100}
+	if LabelOf(&same, 0) != -1 {
+		t.Error("no improvement must label NS")
+	}
+	worse := BlockRecord{CostNS: 100, CostLS: 120}
+	if LabelOf(&worse, 0) != -1 {
+		t.Error("degradation must label NS")
+	}
+}
+
+func TestLabelCountsMonotone(t *testing.T) {
+	data := collectSuite1(t)
+	var all []BlockRecord
+	for _, bd := range data {
+		all = append(all, bd.Records...)
+	}
+	prevLS := 1 << 30
+	for _, th := range []int{0, 10, 20, 30, 40, 50} {
+		ls, ns := LabelCounts(all, th)
+		if ls > prevLS {
+			t.Errorf("LS count rose from %d to %d at t=%d", prevLS, ls, th)
+		}
+		prevLS = ls
+		// NS is constant across thresholds (the paper's Table 5 note).
+		ls0, ns0 := LabelCounts(all, 0)
+		if ns != ns0 {
+			t.Errorf("NS count %d at t=%d differs from %d at t=0", ns, th, ns0)
+		}
+		_ = ls0
+	}
+}
+
+func TestCollectProducesPlausibleInstances(t *testing.T) {
+	data := collectSuite1(t)
+	totalBlocks := 0
+	improved := 0
+	for _, bd := range data {
+		if len(bd.Records) < 30 {
+			t.Errorf("%s: only %d blocks", bd.Name, len(bd.Records))
+		}
+		totalBlocks += len(bd.Records)
+		for i := range bd.Records {
+			r := &bd.Records[i]
+			if r.CostNS <= 0 && r.Feat.BBLen() > 0 {
+				t.Errorf("%s %s b%d: nonpositive cost %d", bd.Name, r.Fn, r.Block, r.CostNS)
+			}
+			if r.CostLS < r.CostNS {
+				improved++
+			}
+		}
+	}
+	t.Logf("suite1: %d blocks, %d improved by scheduling (%.1f%%)",
+		totalBlocks, improved, 100*float64(improved)/float64(totalBlocks))
+	if improved == 0 {
+		t.Error("scheduling improved nothing; training is impossible")
+	}
+	if improved > totalBlocks/2 {
+		t.Error("scheduling improved most blocks; filtering would be pointless")
+	}
+}
+
+func TestLeaveOneOutAccuracy(t *testing.T) {
+	data := collectSuite1(t)
+	opt := ripper.DefaultOptions()
+	for _, bd := range data {
+		f := LeaveOneOut(data, bd.Name, 0, opt)
+		e := ErrorRate(f, bd, 0)
+		t.Logf("%s: t=0 error %.2f%%, rules=%d", bd.Name, e*100, len(f.Rules.Rules))
+		if e > 0.45 {
+			t.Errorf("%s: error rate %.1f%% is no better than chance-ish", bd.Name, e*100)
+		}
+	}
+}
+
+func TestPredictedTimeOrdering(t *testing.T) {
+	data := collectSuite1(t)
+	for _, bd := range data {
+		ls := PredictedTime(bd, core.Always{})
+		ns := PredictedTime(bd, core.Never{})
+		if ls > ns {
+			t.Errorf("%s: predicted LS time %d exceeds NS time %d", bd.Name, ls, ns)
+		}
+		f := LeaveOneOut(data, bd.Name, 0, ripper.DefaultOptions())
+		fl := PredictedTime(bd, f)
+		if fl > ns {
+			t.Errorf("%s: filtered predicted time %d exceeds NS %d", bd.Name, fl, ns)
+		}
+		if fl < ls {
+			t.Errorf("%s: filtered predicted time %d beats always-scheduling %d (impossible under the estimator)", bd.Name, fl, ls)
+		}
+	}
+}
+
+func TestDecisionsPartition(t *testing.T) {
+	data := collectSuite1(t)
+	bd := data[0]
+	f := LeaveOneOut(data, bd.Name, 20, ripper.DefaultOptions())
+	ls, ns := Decisions(bd, f)
+	if ls+ns != len(bd.Records) {
+		t.Errorf("decisions %d+%d != %d blocks", ls, ns, len(bd.Records))
+	}
+}
+
+func TestTrainFilterUsesFeatureNames(t *testing.T) {
+	data := collectSuite1(t)
+	f := TrainFilter(data, 0, ripper.DefaultOptions())
+	if len(f.Rules.Names) != features.Count {
+		t.Errorf("rule set has %d attribute names, want %d", len(f.Rules.Names), features.Count)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	data := collectSuite1(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, data[:2]); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(back))
+	}
+	for i, bd := range back {
+		if bd.Name != data[i].Name {
+			t.Errorf("benchmark %d name %q, want %q", i, bd.Name, data[i].Name)
+		}
+		if len(bd.Records) != len(data[i].Records) {
+			t.Fatalf("%s: %d records, want %d", bd.Name, len(bd.Records), len(data[i].Records))
+		}
+		for j := range bd.Records {
+			a, b := &bd.Records[j], &data[i].Records[j]
+			if a.Feat != b.Feat || a.CostNS != b.CostNS || a.CostLS != b.CostLS || a.Execs != b.Execs {
+				t.Fatalf("%s record %d drifted through CSV: %+v vs %+v", bd.Name, j, a, b)
+			}
+		}
+	}
+	// Training on round-tripped data must behave identically.
+	f1 := TrainFilter(data[:2], 0, ripper.DefaultOptions())
+	f2 := TrainFilter(back, 0, ripper.DefaultOptions())
+	if f1.Rules.String() != f2.Rules.String() {
+		t.Error("rule sets differ after CSV round trip")
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n",
+		csvHeader() + "\nonly,three,fields\n",
+		csvHeader() + "\nb,f,notanumber" + strings.Repeat(",0", 16) + "\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: ReadCSV accepted garbage", i)
+		}
+	}
+}
+
+func TestCollectSuperblockData(t *testing.T) {
+	m := machine.NewMPC7410()
+	w := workloads.ByName("scimark")
+	td, err := CollectSuperblockData(w, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Records) == 0 {
+		t.Fatal("no traces collected")
+	}
+	pos := 0
+	for i := range td.Records {
+		r := &td.Records[i]
+		if len(r.Blocks) < 2 {
+			t.Errorf("trace %d has %d blocks, want >= 2", i, len(r.Blocks))
+		}
+		if r.CostLocal <= 0 || r.CostSuper <= 0 {
+			t.Errorf("trace %d: nonpositive costs %d/%d", i, r.CostLocal, r.CostSuper)
+		}
+		if r.CostSuper > r.CostLocal {
+			t.Errorf("trace %d: superblock scheduling raised the estimator cost %d -> %d",
+				i, r.CostLocal, r.CostSuper)
+		}
+		if TraceLabelOf(r, 0) == +1 {
+			pos++
+		}
+	}
+	t.Logf("scimark: %d traces, %d beneficial", len(td.Records), pos)
+	if pos == 0 {
+		t.Error("no beneficial traces on an FP kernel suite member")
+	}
+}
+
+func TestTraceLabelThresholds(t *testing.T) {
+	r := TraceRecord{CostLocal: 100, CostSuper: 90}
+	if TraceLabelOf(&r, 0) != +1 || TraceLabelOf(&r, 10) != 0 {
+		t.Error("trace labelling thresholds wrong")
+	}
+	same := TraceRecord{CostLocal: 50, CostSuper: 50}
+	if TraceLabelOf(&same, 0) != -1 {
+		t.Error("no-benefit trace must label negative")
+	}
+}

@@ -1,0 +1,424 @@
+package workloads
+
+// Suite 1: SPECjvm98 stand-ins. Each body is appended to the shared
+// prelude. The programs are deterministic (fixed LCG seed) and return a
+// checksum, so interpreter, compiled code, and every scheduling protocol
+// can be compared exactly.
+
+// srcCompress: LZW compression with a hash-probed dictionary over
+// synthetic compressible text — integer, branch, and table-lookup heavy
+// like 129.compress.
+const srcCompress = `
+var outSum int = 0;
+var outCount int = 0;
+
+func emit(code int) {
+  outCount = outCount + 1;
+  outSum = (outSum * 31 + code) & 16777215;
+}
+
+func main() int {
+  wlSrand(20040613);
+  var n int = 4000;
+  var input int[] = new int[n];
+  var x int = 65;
+  for (var i int = 0; i < n; i = i + 1) {
+    var r int = wlRandN(100);
+    if (r >= 55) { x = 65 + wlRandN(26); }
+    if (r >= 90) { x = 32; }
+    input[i] = x;
+  }
+
+  var tabSize int = 4096;
+  var mask int = 4095;
+  var prefix int[] = new int[tabSize];
+  var suffix int[] = new int[tabSize];
+  var code int[] = new int[tabSize];
+  var nextCode int = 256;
+
+  var w int = input[0];
+  for (var i int = 1; i < n; i = i + 1) {
+    var c int = input[i];
+    var h int = ((w * 31 + c) * 7) & mask;
+    var found int = -1;
+    var probes int = 0;
+    while (probes < tabSize) {
+      if (code[h] == 0) { break; }
+      if (prefix[h] == w && suffix[h] == c) { found = code[h]; break; }
+      h = (h + 1) & mask;
+      probes = probes + 1;
+    }
+    if (found >= 0) {
+      w = found;
+    } else {
+      emit(w);
+      if (nextCode < tabSize - 1 && code[h] == 0) {
+        prefix[h] = w;
+        suffix[h] = c;
+        code[h] = nextCode;
+        nextCode = nextCode + 1;
+      }
+      w = c;
+    }
+  }
+  emit(w);
+  return outSum + outCount * 1000000 + nextCode;
+}
+`
+
+// srcJess: forward-chaining production system — repeated rule scans over a
+// boolean fact base, firing consequents until fixpoint, like the CLIPS
+// shell underlying jess.
+const srcJess = `
+func main() int {
+  wlSrand(777);
+  var nf int = 400;
+  var nr int = 280;
+  var facts int[] = new int[nf];
+  var ra int[] = new int[nr];
+  var rb int[] = new int[nr];
+  var rc int[] = new int[nr];
+  var rd int[] = new int[nr];
+  var fired int = 0;
+  var total int = 0;
+
+  for (var round int = 0; round < 10; round = round + 1) {
+    for (var i int = 0; i < nf; i = i + 1) {
+      if (i % 7 == round % 7) { facts[i] = 1; } else { facts[i] = 0; }
+    }
+    for (var i int = 0; i < nr; i = i + 1) {
+      ra[i] = wlRandN(nf);
+      rb[i] = wlRandN(nf);
+      rc[i] = wlRandN(nf);
+      rd[i] = wlRandN(nf);
+    }
+    var changed bool = true;
+    var iters int = 0;
+    while (changed && iters < 30) {
+      changed = false;
+      iters = iters + 1;
+      for (var i int = 0; i < nr; i = i + 1) {
+        if (facts[ra[i]] == 1 && facts[rb[i]] == 1 && facts[rc[i]] == 1) {
+          if (facts[rd[i]] == 0) {
+            facts[rd[i]] = 1;
+            fired = fired + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (var i int = 0; i < nf; i = i + 1) { total = total + facts[i]; }
+  }
+  return fired * 100000 + total;
+}
+`
+
+// srcDB: an in-memory table with binary-search lookups, updates, appends,
+// and periodic shellsorts — the load/store- and compare-heavy profile of
+// db.
+const srcDB = `
+var ids int[];
+var vals int[];
+var used int = 0;
+
+func sortTable() {
+  var gap int = used / 2;
+  while (gap > 0) {
+    for (var i int = gap; i < used; i = i + 1) {
+      var kid int = ids[i];
+      var kval int = vals[i];
+      var j int = i;
+      while (j >= gap && ids[j - gap] > kid) {
+        ids[j] = ids[j - gap];
+        vals[j] = vals[j - gap];
+        j = j - gap;
+      }
+      ids[j] = kid;
+      vals[j] = kval;
+    }
+    gap = gap / 2;
+  }
+}
+
+func lookup(key int) int {
+  var lo int = 0;
+  var hi int = used - 1;
+  while (lo <= hi) {
+    var mid int = (lo + hi) / 2;
+    if (ids[mid] == key) { return mid; }
+    if (ids[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return -1;
+}
+
+func main() int {
+  wlSrand(424242);
+  var cap int = 1400;
+  ids = new int[cap];
+  vals = new int[cap];
+  used = 0;
+  var check int = 0;
+
+  for (var i int = 0; i < 900; i = i + 1) {
+    ids[used] = wlRandN(1000000);
+    vals[used] = wlRandN(10000);
+    used = used + 1;
+  }
+  sortTable();
+
+  for (var op int = 0; op < 3500; op = op + 1) {
+    var kind int = wlRandN(100);
+    if (kind < 70) {
+      var idx int = lookup(ids[wlRandN(used)]);
+      if (idx >= 0) { check = (check + vals[idx]) & 16777215; }
+    } else if (kind < 90) {
+      var idx int = wlRandN(used);
+      vals[idx] = (vals[idx] + op) % 10000;
+    } else if (used < cap) {
+      ids[used] = wlRandN(1000000);
+      vals[used] = op;
+      used = used + 1;
+      if (used % 64 == 0) { sortTable(); }
+    }
+  }
+  sortTable();
+  var sum int = 0;
+  for (var i int = 0; i < used; i = i + 1) { sum = (sum + vals[i]) & 16777215; }
+  return check * 7 + sum + used;
+}
+`
+
+// srcJavac: generates random arithmetic expressions as character streams,
+// then tokenizes, recursive-descent parses, and evaluates them — the
+// call- and branch-heavy compiler-front-end profile of javac.
+const srcJavac = `
+var src int[];
+var srcLen int = 0;
+var pos int = 0;
+
+func putCh(c int) { src[srcLen] = c; srcLen = srcLen + 1; }
+
+func genExpr(depth int) {
+  if (depth <= 0 || wlRandN(100) < 35) {
+    putCh(48 + wlRandN(10));
+    return;
+  }
+  var k int = wlRandN(3);
+  if (k == 2) {
+    putCh(40);
+    genExpr(depth - 1);
+    putCh(41);
+    return;
+  }
+  genExpr(depth - 1);
+  if (k == 0) { putCh(43); } else { putCh(42); }
+  genExpr(depth - 1);
+}
+
+func parseExpr() int {
+  var v int = parseTerm();
+  while (pos < srcLen && src[pos] == 43) {
+    pos = pos + 1;
+    v = (v + parseTerm()) & 1048575;
+  }
+  return v;
+}
+
+func parseTerm() int {
+  var v int = parseAtom();
+  while (pos < srcLen && src[pos] == 42) {
+    pos = pos + 1;
+    v = (v * parseAtom()) & 1048575;
+  }
+  return v;
+}
+
+func parseAtom() int {
+  var c int = src[pos];
+  if (c == 40) {
+    pos = pos + 1;
+    var v int = parseExpr();
+    pos = pos + 1;
+    return v;
+  }
+  pos = pos + 1;
+  return c - 48;
+}
+
+func main() int {
+  wlSrand(1966);
+  src = new int[16384];
+  var check int = 0;
+  for (var e int = 0; e < 300; e = e + 1) {
+    srcLen = 0;
+    genExpr(6);
+    pos = 0;
+    var v int = parseExpr();
+    check = (check * 33 + v + srcLen) & 16777215;
+  }
+  return check;
+}
+`
+
+// srcMpeg: fixed-point windowed subband synthesis over synthetic PCM —
+// integer multiply-accumulate chains with shifts, like the MPEG decoder's
+// polyphase filter bank.
+const srcMpeg = `
+func main() int {
+  wlSrand(808);
+  var n int = 4096;
+  var pcm int[] = new int[n];
+  for (var i int = 0; i < n; i = i + 1) {
+    pcm[i] = wlRandN(65536) - 32768;
+  }
+  var taps int = 32;
+  var coef int[] = new int[taps];
+  for (var j int = 0; j < taps; j = j + 1) {
+    coef[j] = wlRandN(512) - 256;
+  }
+  var sub int = 16;
+  var acc int = 0;
+  for (var frame int = 0; frame + taps < n; frame = frame + sub) {
+    for (var band int = 0; band < sub; band = band + 1) {
+      var s int = 0;
+      for (var j int = 0; j < taps; j = j + 1) {
+        s = s + pcm[frame + j] * coef[(j + band) % taps];
+      }
+      s = s >> 6;
+      var d int = s;
+      if (d < 0) { d = -d; }
+      acc = (acc + d + band) & 268435455;
+    }
+  }
+  return acc;
+}
+`
+
+// srcRaytrace: a small sphere-scene raytracer — quadratic intersection
+// tests, square roots, and dot-product shading; float-latency bound like
+// raytrace/mtrt.
+const srcRaytrace = `
+var sx float[];
+var sy float[];
+var sz float[];
+var sr float[];
+var nspheres int = 0;
+
+func trace(ox float, oy float, oz float, dx float, dy float, dz float) float {
+  var bestT float = 1000000.0;
+  var bestI int = -1;
+  for (var i int = 0; i < nspheres; i = i + 1) {
+    var cx float = ox - sx[i];
+    var cy float = oy - sy[i];
+    var cz float = oz - sz[i];
+    var b float = cx*dx + cy*dy + cz*dz;
+    var c float = cx*cx + cy*cy + cz*cz - sr[i]*sr[i];
+    var disc float = b*b - c;
+    if (disc > 0.0) {
+      var t float = -b - wlSqrt(disc);
+      if (t > 0.001 && t < bestT) { bestT = t; bestI = i; }
+    }
+  }
+  if (bestI < 0) { return 0.0; }
+  var px float = ox + dx*bestT;
+  var py float = oy + dy*bestT;
+  var pz float = oz + dz*bestT;
+  var nx float = (px - sx[bestI]) / sr[bestI];
+  var ny float = (py - sy[bestI]) / sr[bestI];
+  var nz float = (pz - sz[bestI]) / sr[bestI];
+  var lambert float = nx*0.5774 + ny*0.5774 + nz*0.5774;
+  if (lambert < 0.0) { lambert = 0.0; }
+  return 0.1 + 0.9 * lambert;
+}
+
+func main() int {
+  wlSrand(31415);
+  nspheres = 20;
+  sx = new float[nspheres];
+  sy = new float[nspheres];
+  sz = new float[nspheres];
+  sr = new float[nspheres];
+  for (var i int = 0; i < nspheres; i = i + 1) {
+    sx[i] = float(wlRandN(200) - 100) / 10.0;
+    sy[i] = float(wlRandN(200) - 100) / 10.0;
+    sz[i] = float(wlRandN(100) + 30) / 10.0;
+    sr[i] = float(wlRandN(20) + 5) / 10.0;
+  }
+  var w int = 48;
+  var h int = 36;
+  var acc int = 0;
+  for (var y int = 0; y < h; y = y + 1) {
+    for (var x int = 0; x < w; x = x + 1) {
+      var dx float = (float(x) - float(w)/2.0) / float(w);
+      var dy float = (float(y) - float(h)/2.0) / float(h);
+      var dz float = 1.0;
+      var inv float = 1.0 / wlSqrt(dx*dx + dy*dy + 1.0);
+      var v float = trace(0.0, 0.0, -5.0, dx*inv, dy*inv, dz*inv);
+      acc = (acc + int(v * 255.0)) & 268435455;
+    }
+  }
+  return acc;
+}
+`
+
+// srcJack: a table-driven DFA lexer plus a bracket-matching parser over a
+// synthetic grammar stream — the scanning/parsing profile of the jack
+// parser generator.
+const srcJack = `
+func classOf(c int) int {
+  if (c >= 97 && c <= 122) { return 0; }
+  if (c >= 48 && c <= 57) { return 1; }
+  if (c == 32) { return 2; }
+  if (c == 40 || c == 91) { return 3; }
+  if (c == 41 || c == 93) { return 4; }
+  return 5;
+}
+
+func main() int {
+  wlSrand(5555);
+  var n int = 24000;
+  var text int[] = new int[n];
+  for (var i int = 0; i < n; i = i + 1) {
+    var k int = wlRandN(100);
+    if (k < 55) { text[i] = 97 + wlRandN(26); }
+    else if (k < 70) { text[i] = 48 + wlRandN(10); }
+    else if (k < 85) { text[i] = 32; }
+    else if (k < 90) { text[i] = 40; }
+    else if (k < 95) { text[i] = 41; }
+    else { text[i] = 59; }
+  }
+
+  // DFA: states x classes -> next state. 4 states, 6 classes.
+  var trans int[] = new int[24];
+  for (var s int = 0; s < 4; s = s + 1) {
+    for (var c int = 0; c < 6; c = c + 1) {
+      var nxt int = 0;
+      if (c == 0) { nxt = 1; }
+      if (c == 1) { if (s == 1) { nxt = 1; } else { nxt = 2; } }
+      if (c == 3 || c == 4) { nxt = 3; }
+      trans[s * 6 + c] = nxt;
+    }
+  }
+
+  var counts int[] = new int[4];
+  var state int = 0;
+  var depth int = 0;
+  var maxDepth int = 0;
+  var mismatches int = 0;
+  for (var i int = 0; i < n; i = i + 1) {
+    var cls int = classOf(text[i]);
+    state = trans[state * 6 + cls];
+    counts[state] = counts[state] + 1;
+    if (cls == 3) {
+      depth = depth + 1;
+      if (depth > maxDepth) { maxDepth = depth; }
+    }
+    if (cls == 4) {
+      if (depth > 0) { depth = depth - 1; } else { mismatches = mismatches + 1; }
+    }
+  }
+  var sum int = 0;
+  for (var s int = 0; s < 4; s = s + 1) { sum = sum * 31 + counts[s]; }
+  return (sum & 16777215) + maxDepth * 10 + mismatches;
+}
+`

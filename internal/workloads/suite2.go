@@ -1,0 +1,401 @@
+package workloads
+
+// Suite 2: numerically intensive programs that benefit from scheduling
+// (the paper's Table 7). All are dominated by floating-point latency
+// chains the scheduler can overlap.
+
+// srcLinpack: LU decomposition with partial pivoting on a dense matrix,
+// followed by forward/back substitution; residual-based checksum.
+const srcLinpack = `
+var a float[];
+var n int = 0;
+
+func at(i int, j int) float { return a[i * n + j]; }
+func setAt(i int, j int, v float) { a[i * n + j] = v; }
+
+func main() int {
+  wlSrand(101);
+  n = 40;
+  a = new float[n * n];
+  var b float[] = new float[n];
+  var orig float[] = new float[n * n];
+  var rhs float[] = new float[n];
+  var piv int[] = new int[n];
+
+  for (var i int = 0; i < n; i = i + 1) {
+    var rowsum float = 0.0;
+    for (var j int = 0; j < n; j = j + 1) {
+      var v float = float(wlRandN(2000) - 1000) / 500.0;
+      setAt(i, j, v);
+      orig[i * n + j] = v;
+      rowsum = rowsum + wlFabs(v);
+    }
+    setAt(i, i, at(i, i) + rowsum);        // diagonally dominant
+    orig[i * n + i] = at(i, i);
+    b[i] = float(wlRandN(1000)) / 250.0;
+    rhs[i] = b[i];
+  }
+
+  // LU with partial pivoting.
+  for (var k int = 0; k < n; k = k + 1) {
+    var p int = k;
+    var best float = wlFabs(at(k, k));
+    for (var i int = k + 1; i < n; i = i + 1) {
+      var m float = wlFabs(at(i, k));
+      if (m > best) { best = m; p = i; }
+    }
+    piv[k] = p;
+    if (p != k) {
+      for (var j int = 0; j < n; j = j + 1) {
+        var t float = at(k, j);
+        setAt(k, j, at(p, j));
+        setAt(p, j, t);
+      }
+      var tb float = b[k]; b[k] = b[p]; b[p] = tb;
+    }
+    var d float = at(k, k);
+    for (var i int = k + 1; i < n; i = i + 1) {
+      var f float = at(i, k) / d;
+      setAt(i, k, f);
+      for (var j int = k + 1; j < n; j = j + 1) {
+        setAt(i, j, at(i, j) - f * at(k, j));
+      }
+      b[i] = b[i] - f * b[k];
+    }
+  }
+
+  // Back substitution.
+  var x float[] = new float[n];
+  for (var i int = n - 1; i >= 0; i = i - 1) {
+    var s float = b[i];
+    for (var j int = i + 1; j < n; j = j + 1) {
+      s = s - at(i, j) * x[j];
+    }
+    x[i] = s / at(i, i);
+  }
+
+  // Residual || A0*x - rhs0 || with the pivoted rhs undone is awkward;
+  // instead checksum the solution vector directly.
+  var acc int = 0;
+  for (var i int = 0; i < n; i = i + 1) {
+    acc = (acc * 31 + int(x[i] * 1000.0)) & 268435455;
+  }
+  return acc;
+}
+`
+
+// srcPower: a power-network pricing solver in the style of the Olden
+// power benchmark: Gauss-Seidel sweeps propagating demands up a feeder
+// hierarchy and prices down it.
+const srcPower = `
+func main() int {
+  wlSrand(909);
+  var feeders int = 8;
+  var laterals int = 16;
+  var branches int = 12;
+  var nleaf int = feeders * laterals * branches;
+  var demand float[] = new float[nleaf];
+  var price float[] = new float[nleaf];
+  for (var i int = 0; i < nleaf; i = i + 1) {
+    demand[i] = 1.0 + float(wlRandN(1000)) / 1000.0;
+    price[i] = 1.0;
+  }
+
+  var total float = 0.0;
+  for (var iter int = 0; iter < 24; iter = iter + 1) {
+    // Upsweep: aggregate demand with line losses.
+    total = 0.0;
+    for (var f int = 0; f < feeders; f = f + 1) {
+      var fsum float = 0.0;
+      for (var l int = 0; l < laterals; l = l + 1) {
+        var lsum float = 0.0;
+        var base int = (f * laterals + l) * branches;
+        for (var br int = 0; br < branches; br = br + 1) {
+          var d float = demand[base + br] / price[base + br];
+          lsum = lsum + d + 0.01 * d * d;
+        }
+        fsum = fsum + lsum * 1.02;
+      }
+      total = total + fsum;
+    }
+    // Downsweep: reprice toward equilibrium.
+    var target float = float(nleaf);
+    var adjust float = total / target;
+    for (var i int = 0; i < nleaf; i = i + 1) {
+      var p float = price[i];
+      p = p + 0.2 * (adjust - p);
+      if (p < 0.1) { p = 0.1; }
+      price[i] = p;
+    }
+  }
+  var acc int = 0;
+  for (var i int = 0; i < nleaf; i = i + 7) {
+    acc = (acc * 17 + int(price[i] * 10000.0)) & 268435455;
+  }
+  return acc + int(total);
+}
+`
+
+// srcBH: N-body force computation with softened gravity and a leapfrog
+// step — the floating-point core of Barnes-Hut.
+const srcBH = `
+func main() int {
+  wlSrand(2718);
+  var n int = 48;
+  var px float[] = new float[n];
+  var py float[] = new float[n];
+  var pz float[] = new float[n];
+  var vx float[] = new float[n];
+  var vy float[] = new float[n];
+  var vz float[] = new float[n];
+  var m float[] = new float[n];
+  for (var i int = 0; i < n; i = i + 1) {
+    px[i] = float(wlRandN(2000) - 1000) / 100.0;
+    py[i] = float(wlRandN(2000) - 1000) / 100.0;
+    pz[i] = float(wlRandN(2000) - 1000) / 100.0;
+    m[i] = 1.0 + float(wlRandN(100)) / 50.0;
+  }
+  var dt float = 0.01;
+  var eps float = 0.05;
+  for (var step int = 0; step < 8; step = step + 1) {
+    for (var i int = 0; i < n; i = i + 1) {
+      var ax float = 0.0;
+      var ay float = 0.0;
+      var az float = 0.0;
+      for (var j int = 0; j < n; j = j + 1) {
+        if (j != i) {
+          var dx float = px[j] - px[i];
+          var dy float = py[j] - py[i];
+          var dz float = pz[j] - pz[i];
+          var r2 float = dx*dx + dy*dy + dz*dz + eps;
+          var r float = wlSqrt(r2);
+          var f float = m[j] / (r2 * r);
+          ax = ax + f * dx;
+          ay = ay + f * dy;
+          az = az + f * dz;
+        }
+      }
+      vx[i] = vx[i] + ax * dt;
+      vy[i] = vy[i] + ay * dt;
+      vz[i] = vz[i] + az * dt;
+    }
+    for (var i int = 0; i < n; i = i + 1) {
+      px[i] = px[i] + vx[i] * dt;
+      py[i] = py[i] + vy[i] * dt;
+      pz[i] = pz[i] + vz[i] * dt;
+    }
+  }
+  var acc int = 0;
+  for (var i int = 0; i < n; i = i + 1) {
+    acc = (acc * 31 + int(px[i] * 100.0) + int(vy[i] * 100.0)) & 268435455;
+  }
+  return acc;
+}
+`
+
+// srcVoronoi: nearest-site assignment of a dense point grid — distance
+// computations and compare-heavy floating point, like the Olden voronoi
+// kernel's geometric tests.
+const srcVoronoi = `
+func main() int {
+  wlSrand(606);
+  var sites int = 36;
+  var cx float[] = new float[sites];
+  var cy float[] = new float[sites];
+  var area int[] = new int[sites];
+  for (var i int = 0; i < sites; i = i + 1) {
+    cx[i] = float(wlRandN(10000)) / 100.0;
+    cy[i] = float(wlRandN(10000)) / 100.0;
+  }
+  var grid int = 64;
+  var cell float = 100.0 / float(grid);
+  var borderCells int = 0;
+  for (var gy int = 0; gy < grid; gy = gy + 1) {
+    for (var gx int = 0; gx < grid; gx = gx + 1) {
+      var x float = (float(gx) + 0.5) * cell;
+      var y float = (float(gy) + 0.5) * cell;
+      var best float = 1000000.0;
+      var second float = 1000000.0;
+      var bestI int = 0;
+      for (var i int = 0; i < sites; i = i + 1) {
+        var dx float = x - cx[i];
+        var dy float = y - cy[i];
+        var d float = dx*dx + dy*dy;
+        if (d < best) { second = best; best = d; bestI = i; }
+        else if (d < second) { second = d; }
+      }
+      area[bestI] = area[bestI] + 1;
+      if (wlSqrt(second) - wlSqrt(best) < cell) { borderCells = borderCells + 1; }
+    }
+  }
+  var acc int = 0;
+  for (var i int = 0; i < sites; i = i + 1) {
+    acc = (acc * 13 + area[i]) & 268435455;
+  }
+  return acc + borderCells;
+}
+`
+
+// srcAES: an AES-style substitution-permutation network over NIST-style
+// test vectors — table lookups, XORs, shifts, byte shuffles.
+const srcAES = `
+var sbox int[];
+
+func initSbox() {
+  sbox = new int[256];
+  // A fixed invertible byte permutation (affine-ish over the LCG).
+  for (var i int = 0; i < 256; i = i + 1) { sbox[i] = i; }
+  wlSrand(1600);
+  for (var i int = 255; i > 0; i = i - 1) {
+    var j int = wlRandN(i + 1);
+    var t int = sbox[i]; sbox[i] = sbox[j]; sbox[j] = t;
+  }
+}
+
+func encryptBlock(state int[], key int[], rounds int) {
+  for (var r int = 0; r < rounds; r = r + 1) {
+    // SubBytes + AddRoundKey.
+    for (var i int = 0; i < 16; i = i + 1) {
+      state[i] = sbox[state[i] & 255] ^ (key[(r * 16 + i) % 64] & 255);
+    }
+    // ShiftRows (rotate each row of the 4x4 state).
+    for (var row int = 1; row < 4; row = row + 1) {
+      for (var k int = 0; k < row; k = k + 1) {
+        var t int = state[row];
+        state[row] = state[row + 4];
+        state[row + 4] = state[row + 8];
+        state[row + 8] = state[row + 12];
+        state[row + 12] = t;
+      }
+    }
+    // MixColumns-ish: GF-free linear mix with shifts.
+    for (var col int = 0; col < 4; col = col + 1) {
+      var b int = col * 4;
+      var a0 int = state[b]; var a1 int = state[b+1];
+      var a2 int = state[b+2]; var a3 int = state[b+3];
+      state[b]   = (a0 ^ (a1 << 1) ^ a2 ^ a3) & 255;
+      state[b+1] = (a0 ^ a1 ^ (a2 << 1) ^ a3) & 255;
+      state[b+2] = (a0 ^ a1 ^ a2 ^ (a3 << 1)) & 255;
+      state[b+3] = ((a0 << 1) ^ a1 ^ a2 ^ a3) & 255;
+    }
+  }
+}
+
+func main() int {
+  initSbox();
+  var key int[] = new int[64];
+  wlSrand(2001);
+  for (var i int = 0; i < 64; i = i + 1) { key[i] = wlRandN(256); }
+  var state int[] = new int[16];
+  var acc int = 0;
+  for (var vec int = 0; vec < 400; vec = vec + 1) {
+    for (var i int = 0; i < 16; i = i + 1) {
+      state[i] = (vec * 17 + i * 31) & 255;
+    }
+    encryptBlock(state, key, 10);
+    for (var i int = 0; i < 16; i = i + 1) {
+      acc = (acc * 31 + state[i]) & 268435455;
+    }
+  }
+  return acc;
+}
+`
+
+// srcScimark: four scientific kernels — an FFT-style butterfly pass, SOR
+// relaxation, Monte Carlo integration, and a dense matrix multiply.
+const srcScimark = `
+func fftPass(re float[], im float[], n int) {
+  var half int = n / 2;
+  var span int = 1;
+  while (span < n) {
+    var step int = span * 2;
+    for (var start int = 0; start < span; start = start + 1) {
+      var angle float = -3.14159265358979 * float(start) / float(span);
+      var wr float = wlCos(angle);
+      var wi float = wlSin(angle);
+      for (var i int = start; i < n; i = i + step) {
+        var j int = i + span;
+        if (j < n) {
+          var tr float = wr * re[j] - wi * im[j];
+          var ti float = wr * im[j] + wi * re[j];
+          re[j] = re[i] - tr;
+          im[j] = im[i] - ti;
+          re[i] = re[i] + tr;
+          im[i] = im[i] + ti;
+        }
+      }
+    }
+    span = step;
+  }
+  if (half > 0) { }
+}
+
+func main() int {
+  wlSrand(1999);
+  var acc int = 0;
+
+  // FFT butterfly passes.
+  var n int = 256;
+  var re float[] = new float[n];
+  var im float[] = new float[n];
+  for (var i int = 0; i < n; i = i + 1) {
+    re[i] = float(wlRandN(2000) - 1000) / 1000.0;
+    im[i] = 0.0;
+  }
+  fftPass(re, im, n);
+  for (var i int = 0; i < n; i = i + 8) {
+    acc = (acc * 7 + int(re[i] * 100.0)) & 268435455;
+  }
+
+  // SOR relaxation on a grid.
+  var g int = 40;
+  var grid float[] = new float[g * g];
+  for (var i int = 0; i < g * g; i = i + 1) {
+    grid[i] = float(wlRandN(1000)) / 1000.0;
+  }
+  var omega float = 1.25;
+  for (var it int = 0; it < 16; it = it + 1) {
+    for (var y int = 1; y < g - 1; y = y + 1) {
+      for (var x int = 1; x < g - 1; x = x + 1) {
+        var idx int = y * g + x;
+        var v float = 0.25 * (grid[idx - 1] + grid[idx + 1] + grid[idx - g] + grid[idx + g]);
+        grid[idx] = grid[idx] + omega * (v - grid[idx]);
+      }
+    }
+  }
+  acc = (acc + int(grid[g * g / 2] * 100000.0)) & 268435455;
+
+  // Monte Carlo quarter-circle.
+  var hits int = 0;
+  var trials int = 8000;
+  for (var t int = 0; t < trials; t = t + 1) {
+    var x float = float(wlRandN(100000)) / 100000.0;
+    var y float = float(wlRandN(100000)) / 100000.0;
+    if (x * x + y * y <= 1.0) { hits = hits + 1; }
+  }
+  acc = (acc + hits) & 268435455;
+
+  // Dense matmul.
+  var mN int = 28;
+  var ma float[] = new float[mN * mN];
+  var mb float[] = new float[mN * mN];
+  var mc float[] = new float[mN * mN];
+  for (var i int = 0; i < mN * mN; i = i + 1) {
+    ma[i] = float(wlRandN(100)) / 10.0;
+    mb[i] = float(wlRandN(100)) / 10.0;
+  }
+  for (var i int = 0; i < mN; i = i + 1) {
+    for (var j int = 0; j < mN; j = j + 1) {
+      var s float = 0.0;
+      for (var k int = 0; k < mN; k = k + 1) {
+        s = s + ma[i * mN + k] * mb[k * mN + j];
+      }
+      mc[i * mN + j] = s;
+    }
+  }
+  for (var i int = 0; i < mN * mN; i = i + 37) {
+    acc = (acc * 3 + int(mc[i])) & 268435455;
+  }
+  return acc;
+}
+`

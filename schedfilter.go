@@ -1,0 +1,243 @@
+// Package schedfilter is a from-scratch reproduction of Cavazos & Moss,
+// "Inducing Heuristics To Decide Whether To Schedule" (PLDI 2004): learning
+// cheap per-basic-block filters that predict whether running an instruction
+// scheduler on a block is worth the compile time.
+//
+// The package is the public facade over the full system:
+//
+//   - a small Java-flavoured language (Jolt) with a compiler to stack
+//     bytecode, standing in for Java;
+//   - an optimizing JIT (aggressive inlining, stack-to-register lowering,
+//     hazard insertion, linear-scan register allocation) targeting a
+//     PowerPC 7410-flavoured machine IR, standing in for Jikes RVM;
+//   - a critical-path list scheduler and the simplified machine timing
+//     estimator it shares with the training pipeline;
+//   - the Ripper rule-induction algorithm, the Table-1 block features,
+//     threshold labelling, and leave-one-out cross-validation;
+//   - a whole-program cycle simulator for application-running-time
+//     measurements, plus thirteen benchmark programs reproducing the
+//     computational character of the paper's two suites.
+//
+// Quick start:
+//
+//	prog, _ := schedfilter.CompileSource(src)         // Jolt → machine IR
+//	m := schedfilter.NewMachine()
+//	filter, _ := schedfilter.TrainDefaultFilter(m, 20) // induce L/N at t=20
+//	stats := schedfilter.Schedule(m, prog, filter)     // filtered scheduling
+//	res, _ := schedfilter.Execute(prog, m, true)       // timed simulation
+//
+// The experiment harness reproducing every table and figure of the paper
+// lives behind NewExperimentRunner; `go test -bench .` regenerates them as
+// benchmarks, and cmd/schedexp prints them.
+package schedfilter
+
+import (
+	"fmt"
+
+	"schedfilter/internal/bytecode"
+	"schedfilter/internal/core"
+	"schedfilter/internal/experiments"
+	"schedfilter/internal/features"
+	"schedfilter/internal/interp"
+	"schedfilter/internal/ir"
+	"schedfilter/internal/jit"
+	"schedfilter/internal/jolt"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+	"schedfilter/internal/sched"
+	"schedfilter/internal/sim"
+	"schedfilter/internal/training"
+	"schedfilter/internal/workloads"
+)
+
+// Re-exported core types. The facade uses type aliases so values flow
+// freely between the public API and the subsystem packages.
+type (
+	// Machine is the timing model of the target processor.
+	Machine = machine.Model
+	// Program is JIT-compiled machine code: functions of basic blocks.
+	Program = ir.Program
+	// Block is one basic block of machine instructions.
+	Block = ir.Block
+	// Instr is one machine instruction.
+	Instr = ir.Instr
+	// Module is verified stack bytecode (the JIT's input).
+	Module = bytecode.Module
+	// FeatureVector is the paper's 13 cheap block features (Table 1).
+	FeatureVector = features.Vector
+	// Filter decides per block whether to run the list scheduler.
+	Filter = core.Filter
+	// InducedFilter is a learned (Ripper rule set) filter.
+	InducedFilter = core.Induced
+	// RuleSet is an ordered Ripper rule list.
+	RuleSet = ripper.RuleSet
+	// ScheduleStats reports what a scheduling pass did.
+	ScheduleStats = core.Stats
+	// ScheduleResult reports what scheduling did to one block.
+	ScheduleResult = sched.Result
+	// SimResult is a simulator run's outcome.
+	SimResult = sim.Result
+	// InterpResult is a bytecode-interpreter run's outcome.
+	InterpResult = interp.Result
+	// BenchData is one benchmark's collected training instances.
+	BenchData = training.BenchData
+	// BlockRecord is one raw training instance.
+	BlockRecord = training.BlockRecord
+	// Workload is one bundled benchmark program.
+	Workload = workloads.Workload
+	// JITOptions configure compilation.
+	JITOptions = jit.Options
+	// CompileOptions bundle front-end and JIT configuration for the
+	// training/evaluation pipeline.
+	CompileOptions = training.Options
+	// RipperOptions configure rule induction.
+	RipperOptions = ripper.Options
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+	// ExperimentConfig parameterizes the harness.
+	ExperimentConfig = experiments.Config
+)
+
+// Fixed protocols (the paper's baselines).
+var (
+	// AlwaysSchedule is the LS protocol.
+	AlwaysSchedule Filter = core.Always{}
+	// NeverSchedule is the NS protocol.
+	NeverSchedule Filter = core.Never{}
+)
+
+// FeatureNames lists the Table-1 feature names in vector order.
+var FeatureNames = features.Names[:]
+
+// NewMachine returns the MPC7410-flavoured timing model used throughout
+// the reproduction.
+func NewMachine() *Machine { return machine.NewMPC7410() }
+
+// DefaultJITOptions mirror the paper's OptOpt configuration (aggressive
+// inlining: callee <= 30, depth <= 6, expansion <= 7x).
+func DefaultJITOptions() JITOptions { return jit.DefaultOptions() }
+
+// DefaultRipperOptions mirror the paper's Ripper usage.
+func DefaultRipperOptions() RipperOptions { return ripper.DefaultOptions() }
+
+// CompileJolt compiles Jolt source to verified bytecode.
+func CompileJolt(src string) (*Module, error) { return jolt.Compile(src) }
+
+// CompileModule JIT-compiles bytecode to machine code (unscheduled).
+func CompileModule(m *Module, opts JITOptions) (*Program, error) {
+	return jit.Compile(m, opts)
+}
+
+// CompileSource compiles Jolt source all the way to machine code with the
+// default JIT options.
+func CompileSource(src string) (*Program, error) {
+	mod, err := jolt.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return jit.Compile(mod, jit.DefaultOptions())
+}
+
+// Interpret runs bytecode in the reference interpreter (the semantic
+// oracle). limit bounds executed instructions; 0 means a generous default.
+func Interpret(m *Module, limit int64) (*InterpResult, error) {
+	return interp.Run(m, limit)
+}
+
+// Execute runs compiled machine code on the simulator. With timed set,
+// the result includes the cycle count under the machine's issue model.
+func Execute(p *Program, m *Machine, timed bool) (*SimResult, error) {
+	return sim.Run(p, sim.Config{Timed: timed, Model: m})
+}
+
+// ExtractFeatures computes a block's feature vector (one pass).
+func ExtractFeatures(b *Block) FeatureVector { return features.ExtractBlock(b) }
+
+// EstimateCost runs the simplified block timing estimator on the block in
+// its current order.
+func EstimateCost(m *Machine, b *Block) int { return machine.EstimateBlockCost(m, b) }
+
+// ScheduleBlock list-schedules one block in place (critical-path
+// scheduling) and reports the before/after cost estimates.
+func ScheduleBlock(m *Machine, b *Block) ScheduleResult { return sched.ScheduleBlock(m, b) }
+
+// Schedule applies the filter-driven scheduling pass to a whole program in
+// place, timing the pass (features and filter evaluation included).
+func Schedule(m *Machine, p *Program, f Filter) ScheduleStats {
+	return core.ApplyFilter(m, p, f)
+}
+
+// NewRuleFilter wraps a Ripper rule set as a filter.
+func NewRuleFilter(rs *RuleSet, label string) *InducedFilter {
+	return core.NewInduced(rs, label)
+}
+
+// ParseRuleSet reads a rule set in the Figure-4 text format, resolving
+// attribute names against the Table-1 feature names.
+func ParseRuleSet(text string) (*RuleSet, error) {
+	return ripper.Parse(text, FeatureNames)
+}
+
+// SizeFilter returns the hand-written baseline filter that schedules
+// blocks of at least minLen instructions.
+func SizeFilter(minLen int) Filter { return core.SizeThreshold{MinLen: minLen} }
+
+// Workloads returns all bundled benchmark programs (suite 1 then suite 2).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadsSuite1 returns the SPECjvm98 stand-ins.
+func WorkloadsSuite1() []Workload { return workloads.Suite1() }
+
+// WorkloadsSuite2 returns the FP suite that benefits from scheduling.
+func WorkloadsSuite2() []Workload { return workloads.Suite2() }
+
+// WorkloadByName returns the named bundled benchmark, or an error.
+func WorkloadByName(name string) (*Workload, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("schedfilter: no workload named %q", name)
+	}
+	return w, nil
+}
+
+// DefaultCompileOptions mirror the paper's OptOpt configuration plus
+// 4-way loop unrolling (see DESIGN.md).
+func DefaultCompileOptions() CompileOptions { return training.DefaultOptions() }
+
+// CollectTrainingData compiles the workload and gathers one training
+// instance per basic block (features, both cost estimates, profiled
+// execution counts).
+func CollectTrainingData(w *Workload, m *Machine, opts CompileOptions) (*BenchData, error) {
+	return training.Collect(w, m, opts)
+}
+
+// TrainFilter induces an L/N filter at threshold t (percent) from the
+// given benchmarks' instances.
+func TrainFilter(data []*BenchData, t int, opt RipperOptions) *InducedFilter {
+	return training.TrainFilter(data, t, opt)
+}
+
+// TrainLeaveOneOut induces a filter for the target benchmark from every
+// other benchmark's instances (the paper's cross-validation protocol).
+func TrainLeaveOneOut(data []*BenchData, target string, t int, opt RipperOptions) *InducedFilter {
+	return training.LeaveOneOut(data, target, t, opt)
+}
+
+// TrainDefaultFilter collects the suite-1 workloads and induces a single
+// filter at threshold t — the "at the factory" filter a JIT would ship.
+func TrainDefaultFilter(m *Machine, t int) (*InducedFilter, error) {
+	data, err := training.CollectAll(workloads.Suite1(), m, training.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return training.TrainFilter(data, t, ripper.DefaultOptions()), nil
+}
+
+// NewExperimentRunner builds the harness that regenerates the paper's
+// tables and figures.
+func NewExperimentRunner(cfg ExperimentConfig) *ExperimentRunner {
+	return experiments.NewRunner(cfg)
+}
+
+// DefaultExperimentConfig is the configuration used by EXPERIMENTS.md.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
