@@ -5,10 +5,19 @@
 //
 //	schedexp -exp table3          # one experiment
 //	schedexp -exp all             # everything (takes a minute or two)
+//	schedexp -adaptive            # the adaptive-tier protocol comparison
+//	schedexp -adaptive -json BENCH_adaptive.json   # ...plus JSON artifact
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
-//	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks sbfilter all
+//	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
+//	sbfilter adaptive all
+//
+// The -adaptive flag is shorthand for -exp adaptive: run every benchmark
+// through the adaptive optimization system (baseline tier, sampling
+// profiler, background recompilation) and compare it with the offline
+// NS/LS/filtered protocols. With -json PATH the per-protocol cycle and
+// cost numbers are additionally written as machine-readable JSON.
 package main
 
 import (
@@ -25,18 +34,23 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "which experiment to run (see package doc)")
+	adaptiveMode := flag.Bool("adaptive", false, "run the adaptive-tier comparison (shorthand for -exp adaptive)")
+	jsonPath := flag.String("json", "", "write the adaptive comparison as JSON to this path (e.g. BENCH_adaptive.json)")
 	flag.Parse()
+	if *adaptiveMode {
+		*exp = "adaptive"
+	}
 
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
 	start := time.Now()
-	if err := run(r, *exp); err != nil {
+	if err := run(r, *exp, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "schedexp:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "schedexp: done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(r *experiments.Runner, exp string) error {
+func run(r *experiments.Runner, exp, jsonPath string) error {
 	all := exp == "all"
 	did := false
 	show := func(name string, f func() error) error {
@@ -171,6 +185,20 @@ func run(r *experiments.Runner, exp string) error {
 				return err
 			}
 			fmt.Println(res.Render())
+			return nil
+		}},
+		{"adaptive", func() error {
+			res, err := r.Adaptive(0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "schedexp: wrote %s\n", jsonPath)
+			}
 			return nil
 		}},
 		{"fig4", func() error {

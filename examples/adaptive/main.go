@@ -1,0 +1,96 @@
+// Adaptive: run a program on the adaptive optimization system. The
+// program starts in the baseline (unscheduled) tier; a sampling profiler
+// finds the hot functions, a cost/benefit controller promotes them, and a
+// background worker pool recompiles them with filter-gated scheduling and
+// hot-swaps them in at safe points — the Jikes-RVM-style setting the
+// paper's whether-to-schedule filters were built for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schedfilter"
+)
+
+// A scheduling-sensitive FP workload: repeated stencil sweeps over an
+// array, with enough iterations that the sampler sees the kernel get hot.
+const src = `
+func sweep(a float[], b float[]) float {
+  var n int = len(a);
+  var acc float = 0.0;
+  for (var i int = 1; i < n - 1; i = i + 1) {
+    var v float = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+    b[i] = v;
+    acc = acc + v * v;
+  }
+  return acc;
+}
+func main() int {
+  var n int = 256;
+  var a float[] = new float[n];
+  var b float[] = new float[n];
+  for (var i int = 0; i < n; i = i + 1) {
+    a[i] = float(i % 17) * 0.3;
+  }
+  var acc float = 0.0;
+  for (var round int = 0; round < 60; round = round + 1) {
+    acc = acc + sweep(a, b);
+    var t float[] = a;
+    a = b;
+    b = t;
+  }
+  return int(acc);
+}
+`
+
+func main() {
+	mod, err := schedfilter.CompileJolt(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := schedfilter.CompileModule(mod, schedfilter.DefaultJITOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := schedfilter.NewMachine()
+
+	// The three offline reference points.
+	baseline, err := schedfilter.Execute(prog.Clone(), m, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheduled := prog.Clone()
+	schedfilter.Schedule(m, scheduled, schedfilter.AlwaysSchedule)
+	ls, err := schedfilter.Execute(scheduled, m, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The adaptive run: cheap size filter in the optimized tier (a real
+	// JIT would ship an induced one — see examples/trainfilter).
+	cfg := schedfilter.DefaultAdaptiveConfig(m, schedfilter.SizeFilter(8))
+	cfg.Module = mod // recompile promoted functions from bytecode
+	cfg.JIT = schedfilter.DefaultJITOptions()
+	cfg.SampleEvery = 2000 // the demo program is small; sample eagerly
+	res, err := schedfilter.ExecuteAdaptive(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mt := res.Metrics
+
+	fmt.Println("protocol                     cycles")
+	fmt.Printf("never schedule (baseline) %9d\n", baseline.Cycles)
+	fmt.Printf("always schedule (LS)      %9d\n", ls.Cycles)
+	fmt.Printf("adaptive, online          %9d   (includes the cold-start transient)\n", res.Online.Cycles)
+	fmt.Printf("adaptive, steady state    %9d\n", res.Steady.Cycles)
+
+	fmt.Printf("\nadaptive tier: %d samples, %d promotions, %d recompiled, %d hot-swapped online (+%d at shutdown)\n",
+		mt.Samples, mt.Promotions, mt.Recompiled, mt.Installed, mt.InstalledPost)
+	fmt.Printf("filter verdict: scheduled %d of %d hot blocks (%.0f%%), %d actually changed\n",
+		mt.BlocksScheduled, mt.BlocksConsidered, 100*mt.ScheduledFraction(), mt.BlocksChanged)
+	if gain := baseline.Cycles - ls.Cycles; gain > 0 {
+		rec := float64(baseline.Cycles-res.Steady.Cycles) / float64(gain)
+		fmt.Printf("steady state recovers %.0f%% of the LS improvement\n", 100*rec)
+	}
+}

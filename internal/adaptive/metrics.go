@@ -1,0 +1,50 @@
+package adaptive
+
+import "time"
+
+// Metrics are the controller's per-tier counters: what the profiler saw,
+// what the policy promoted, what the pool compiled, and what the filter
+// let the scheduler touch.
+type Metrics struct {
+	// Samples is the number of profile snapshots the controller saw.
+	Samples int
+	// Promotions counts functions the policy enqueued for recompilation.
+	Promotions int
+	// QueueFull counts promotion attempts deferred because the bounded
+	// queue was full (they retry at a later sample).
+	QueueFull int
+	// Recompiled counts functions the worker pool finished.
+	Recompiled int
+	// Installed counts functions hot-swapped during the run, at safe
+	// points; InstalledPost counts those whose recompilation finished
+	// too late and were installed after the run ended.
+	Installed     int
+	InstalledPost int
+	// BlocksConsidered / BlocksScheduled / BlocksChanged aggregate the
+	// optimized tier's scheduling statistics over recompiled functions:
+	// how many blocks the filter saw, sent to the list scheduler, and
+	// actually reordered.
+	BlocksConsidered int
+	BlocksScheduled  int
+	BlocksChanged    int
+	// CompileTime is the summed wall-clock time the worker pool spent
+	// recompiling (the measured scheduling cost).
+	CompileTime time.Duration
+	// CompileCyclesCharged is the policy's modelled compile cost summed
+	// over promotions, in simulated cycles.
+	CompileCyclesCharged int64
+	// MaxQueueDepth is the deepest the promotion queue got.
+	MaxQueueDepth int
+	// PromotedFns names the recompiled functions, in completion order.
+	PromotedFns []string
+}
+
+// ScheduledFraction is the share of hot-swapped blocks the filter sent
+// to the scheduler — the paper's "scheduling effort" inside the
+// optimized tier.
+func (m *Metrics) ScheduledFraction() float64 {
+	if m.BlocksConsidered == 0 {
+		return 0
+	}
+	return float64(m.BlocksScheduled) / float64(m.BlocksConsidered)
+}

@@ -38,35 +38,49 @@ type Stats struct {
 // protocol pays for features plus rule evaluation.
 func ApplyFilter(m *machine.Model, p *ir.Program, f Filter) Stats {
 	var st Stats
-	_, always := f.(Always)
-	_, never := f.(Never)
-
 	start := time.Now()
 	for _, fn := range p.Fns {
-		for _, b := range fn.Blocks {
-			st.Blocks++
-			if never {
-				st.NotScheduled++
-				continue
-			}
-			if !always {
-				v := features.ExtractBlock(b)
-				if !f.ShouldSchedule(v) {
-					st.NotScheduled++
-					continue
-				}
-			}
-			st.Scheduled++
-			res := sched.ScheduleBlock(m, b)
-			st.CostBefore += int64(res.CostBefore)
-			st.CostAfter += int64(res.CostAfter)
-			if res.Changed {
-				st.Changed++
-			}
-		}
+		applyFnBlocks(m, fn, f, &st)
 	}
 	st.SchedTime = time.Since(start)
 	return st
+}
+
+// ApplyFilterFn runs the same filter-driven scheduling pass over a single
+// function in place — the per-function recompilation entry point the
+// adaptive tier's background compiler uses.
+func ApplyFilterFn(m *machine.Model, fn *ir.Fn, f Filter) Stats {
+	var st Stats
+	start := time.Now()
+	applyFnBlocks(m, fn, f, &st)
+	st.SchedTime = time.Since(start)
+	return st
+}
+
+func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, st *Stats) {
+	_, always := f.(Always)
+	_, never := f.(Never)
+	for _, b := range fn.Blocks {
+		st.Blocks++
+		if never {
+			st.NotScheduled++
+			continue
+		}
+		if !always {
+			v := features.ExtractBlock(b)
+			if !f.ShouldSchedule(v) {
+				st.NotScheduled++
+				continue
+			}
+		}
+		st.Scheduled++
+		res := sched.ScheduleBlock(m, b)
+		st.CostBefore += int64(res.CostBefore)
+		st.CostAfter += int64(res.CostAfter)
+		if res.Changed {
+			st.Changed++
+		}
+	}
 }
 
 // Decide runs only the decision part of the pass (no scheduling) and

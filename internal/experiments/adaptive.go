@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"schedfilter/internal/adaptive"
+	"schedfilter/internal/core"
+	"schedfilter/internal/training"
+	"schedfilter/internal/workloads"
+)
+
+// The adaptive protocol: instead of scheduling (or not) at compile time,
+// run each benchmark through the adaptive optimization system — baseline
+// tier first, hot functions promoted to filter-gated scheduled code by
+// the background pool — and compare its cycle counts against the three
+// offline protocols (NS, LS, filtered L/N) on the same programs.
+
+// AdaptiveRow is one benchmark's numbers under every protocol.
+type AdaptiveRow struct {
+	Bench string `json:"bench"`
+	Suite int    `json:"suite"`
+
+	// Application cycles per protocol.
+	NSCycles             int64 `json:"ns_cycles"`
+	LSCycles             int64 `json:"ls_cycles"`
+	FilteredCycles       int64 `json:"filtered_cycles"`
+	AdaptiveOnlineCycles int64 `json:"adaptive_online_cycles"`
+	AdaptiveSteadyCycles int64 `json:"adaptive_steady_cycles"`
+
+	// Scheduling cost per protocol (wall clock): the offline passes'
+	// scheduling-phase time, and the adaptive tier's background compile
+	// time.
+	LSSchedNs         int64 `json:"ls_sched_ns"`
+	FilteredSchedNs   int64 `json:"filtered_sched_ns"`
+	AdaptiveCompileNs int64 `json:"adaptive_compile_ns"`
+
+	// Adaptive tier telemetry.
+	Promotions       int     `json:"promotions"`
+	Installed        int     `json:"installed"`
+	InstalledPost    int     `json:"installed_post"`
+	BlocksConsidered int     `json:"blocks_considered"`
+	BlocksScheduled  int     `json:"blocks_scheduled"`
+	RecoveredFrac    float64 `json:"recovered_fraction"`
+}
+
+// AdaptiveResult holds the whole comparison plus suite-wide aggregates.
+type AdaptiveResult struct {
+	FilterLabel string        `json:"filter"`
+	Threshold   int           `json:"threshold"`
+	Rows        []AdaptiveRow `json:"rows"`
+	// ScheduledFrac is the share of hot-swapped blocks the filter sent
+	// to the scheduler, summed over all benchmarks.
+	ScheduledFrac float64 `json:"scheduled_fraction"`
+	// RecoveredFrac is Σ(NS − adaptive-steady) / Σ(NS − LS): how much of
+	// the always-schedule improvement the adaptive tier recovers once it
+	// reaches steady state.
+	RecoveredFrac float64 `json:"recovered_fraction"`
+}
+
+// Adaptive runs the adaptive protocol over both suites with the factory
+// filter — a single L/N filter induced at threshold t from all bundled
+// training data, the filter a JIT would ship — and compares it with the
+// offline protocols.
+func (r *Runner) Adaptive(t int) (*AdaptiveResult, error) {
+	data1, err := r.Suite1()
+	if err != nil {
+		return nil, err
+	}
+	data2, err := r.Suite2()
+	if err != nil {
+		return nil, err
+	}
+	all := append(append([]*training.BenchData(nil), data1...), data2...)
+	f := training.TrainFilter(all, t, r.cfg.RipperOpts)
+	f.Label = fmt.Sprintf("L/N t=%d (factory)", t)
+
+	res := &AdaptiveResult{FilterLabel: f.Label, Threshold: t}
+	var sumLSGain, sumSteadyGain int64
+	var sumSched, sumConsidered int
+	for _, bd := range all {
+		w := workloads.ByName(bd.Name)
+		mod, err := w.CompileWithOptions(r.cfg.CompileOpts.Frontend)
+		if err != nil {
+			return nil, err
+		}
+		row := AdaptiveRow{Bench: bd.Name, Suite: int(bd.Suite)}
+		if row.NSCycles, err = r.AppTime(bd, core.Never{}); err != nil {
+			return nil, err
+		}
+		if row.LSCycles, err = r.AppTime(bd, core.Always{}); err != nil {
+			return nil, err
+		}
+		if row.FilteredCycles, err = r.AppTime(bd, f); err != nil {
+			return nil, err
+		}
+		lsT, _ := r.SchedTime(bd, core.Always{})
+		flT, _ := r.SchedTime(bd, f)
+		row.LSSchedNs = int64(lsT)
+		row.FilteredSchedNs = int64(flT)
+
+		ares, err := adaptive.Run(bd.Prog, adaptive.Config{
+			Model:  r.cfg.Model,
+			Filter: f,
+			Module: mod,
+			JIT:    r.cfg.CompileOpts.JIT,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: adaptive run: %w", bd.Name, err)
+		}
+		mt := ares.Metrics
+		row.AdaptiveOnlineCycles = ares.Online.Cycles
+		row.AdaptiveSteadyCycles = ares.Steady.Cycles
+		row.AdaptiveCompileNs = int64(mt.CompileTime)
+		row.Promotions = mt.Promotions
+		row.Installed = mt.Installed
+		row.InstalledPost = mt.InstalledPost
+		row.BlocksConsidered = mt.BlocksConsidered
+		row.BlocksScheduled = mt.BlocksScheduled
+		if gain := row.NSCycles - row.LSCycles; gain > 0 {
+			row.RecoveredFrac = float64(row.NSCycles-row.AdaptiveSteadyCycles) / float64(gain)
+		}
+		sumLSGain += row.NSCycles - row.LSCycles
+		sumSteadyGain += row.NSCycles - row.AdaptiveSteadyCycles
+		sumSched += mt.BlocksScheduled
+		sumConsidered += mt.BlocksConsidered
+		res.Rows = append(res.Rows, row)
+	}
+	if sumLSGain > 0 {
+		res.RecoveredFrac = float64(sumSteadyGain) / float64(sumLSGain)
+	}
+	if sumConsidered > 0 {
+		res.ScheduledFrac = float64(sumSched) / float64(sumConsidered)
+	}
+	return res, nil
+}
+
+// Render prints the comparison in the paper's table shape.
+func (a *AdaptiveResult) Render() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Adaptive tier vs offline protocols (cycles; filter: %s)", a.FilterLabel))
+	fmt.Fprintf(&b, "%-11s %12s %12s %12s %12s %12s %7s %9s %s\n",
+		"benchmark", "NS", "LS", "L/N", "adp-online", "adp-steady", "recov", "sched/all", "compile")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-11s %12d %12d %12d %12d %12d %6.1f%% %4d/%-4d %v\n",
+			r.Bench, r.NSCycles, r.LSCycles, r.FilteredCycles,
+			r.AdaptiveOnlineCycles, r.AdaptiveSteadyCycles, 100*r.RecoveredFrac,
+			r.BlocksScheduled, r.BlocksConsidered,
+			time.Duration(r.AdaptiveCompileNs).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\nAggregate: adaptive steady state recovers %.1f%% of the LS improvement\n",
+		100*a.RecoveredFrac)
+	fmt.Fprintf(&b, "while scheduling %.1f%% of hot-swapped blocks.\n", 100*a.ScheduledFrac)
+	return b.String()
+}
+
+// WriteJSON writes the comparison as machine-readable JSON (the
+// BENCH_adaptive.json artifact tracked across PRs).
+func (a *AdaptiveResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

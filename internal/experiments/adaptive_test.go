@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedfilter/internal/workloads"
+)
+
+// TestAdaptiveAcceptance is the PR's end-to-end acceptance bar: the
+// adaptive tier with a factory filter must schedule at most 60% of the
+// hot-swapped blocks while recovering at least 90% of the always-schedule
+// (LS) cycle improvement at steady state, aggregated over every bundled
+// benchmark.
+func TestAdaptiveAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptive sweep in -short mode")
+	}
+	r := newRunner(t)
+	res, err := r.Adaptive(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(workloads.All()); got != want {
+		t.Fatalf("%d rows, want %d", got, want)
+	}
+	if res.ScheduledFrac > 0.60 {
+		t.Errorf("scheduled fraction %.3f > 0.60", res.ScheduledFrac)
+	}
+	if res.RecoveredFrac < 0.90 {
+		t.Errorf("recovered fraction %.3f < 0.90", res.RecoveredFrac)
+	}
+	for _, row := range res.Rows {
+		// Steady state must never be slower than never-scheduling: the
+		// optimized tier only reorders within blocks.
+		if row.AdaptiveSteadyCycles > row.NSCycles {
+			t.Errorf("%s: steady state %d cycles slower than NS %d",
+				row.Bench, row.AdaptiveSteadyCycles, row.NSCycles)
+		}
+		if row.Promotions > 0 && row.Installed+row.InstalledPost == 0 {
+			t.Errorf("%s: %d promotions but nothing installed", row.Bench, row.Promotions)
+		}
+	}
+
+	// The -json artifact round-trips.
+	path := filepath.Join(t.TempDir(), "adaptive.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AdaptiveResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.RecoveredFrac != res.RecoveredFrac {
+		t.Error("JSON artifact does not round-trip")
+	}
+	if back.Rows[0].Bench == "" {
+		t.Error("bench names missing from JSON")
+	}
+}
+
+func TestAdaptiveRender(t *testing.T) {
+	a := &AdaptiveResult{
+		FilterLabel:   "L/N t=0 (factory)",
+		Rows:          []AdaptiveRow{{Bench: "compress", NSCycles: 100, LSCycles: 90, AdaptiveSteadyCycles: 91, RecoveredFrac: 0.9, BlocksScheduled: 3, BlocksConsidered: 10}},
+		ScheduledFrac: 0.3,
+		RecoveredFrac: 0.9,
+	}
+	out := a.Render()
+	for _, want := range []string{"compress", "adp-steady", "90.0%", "recovers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -71,3 +71,44 @@ func Compile(mod *bytecode.Module, opts Options) (*ir.Program, error) {
 	}
 	return prog, nil
 }
+
+// CompileFn recompiles the single named function through the same
+// pipeline as Compile (inlining, lowering, register allocation, optional
+// peephole) and returns its machine code — the per-function entry point
+// the adaptive optimization system's background compiler uses. The module
+// is not re-verified: Compile already verified it when the baseline tier
+// was built.
+func CompileFn(mod *bytecode.Module, name string, opts Options) (*ir.Fn, error) {
+	work := mod.Clone()
+	if opts.Inline {
+		lim := opts.InlineLimits
+		if lim.MaxCalleeSize == 0 {
+			lim = DefaultInlineLimits()
+		}
+		Inline(work, lim)
+		if err := validateAfterInline(work); err != nil {
+			return nil, err
+		}
+	}
+	fi := work.FnIndex(name)
+	if fi < 0 {
+		return nil, fmt.Errorf("jit: no function named %q", name)
+	}
+	f := work.Fns[fi]
+	blocks := buildCFG(f)
+	shapes, err := bytecode.StackShapes(work, f)
+	if err != nil {
+		return nil, fmt.Errorf("jit: %s: %w", f.Name, err)
+	}
+	mfn, err := lowerFn(work, f, blocks, shapes)
+	if err != nil {
+		return nil, err
+	}
+	if err := Allocate(mfn); err != nil {
+		return nil, err
+	}
+	if opts.Peephole {
+		Peephole(&ir.Program{Fns: []*ir.Fn{mfn}})
+	}
+	return mfn, nil
+}

@@ -125,3 +125,14 @@ func ScheduleBlock(m *machine.Model, b *ir.Block) Result {
 	}
 	return res
 }
+
+// ScheduleFn list-schedules every block of a function in place — the
+// per-function entry point tiered recompilation uses — and returns the
+// per-block results in block order.
+func ScheduleFn(m *machine.Model, fn *ir.Fn) []Result {
+	out := make([]Result, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		out[i] = ScheduleBlock(m, b)
+	}
+	return out
+}

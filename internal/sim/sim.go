@@ -43,6 +43,14 @@ type Config struct {
 	// StepLimit bounds executed instructions; 0 means a generous
 	// default.
 	StepLimit int64
+	// SampleEvery, when positive, fires OnSample at the first block
+	// entry (a safe point) after every SampleEvery executed
+	// instructions. See profile.go.
+	SampleEvery int64
+	// OnSample receives periodic profile snapshots and may return
+	// function hot-swaps to install at safe points. Required when
+	// SampleEvery is set.
+	OnSample func(*Snapshot) []FnSwap
 }
 
 // Result reports a completed run.
@@ -64,6 +72,9 @@ type Result struct {
 	// Together with ExecCounts this gives the edge profile superblock
 	// formation needs.
 	TakenCounts [][]int64
+	// Swaps counts function hot-swaps installed at safe points (runs
+	// with a sampling hook only).
+	Swaps int
 }
 
 // Trap is a machine-level runtime error (the hardware analogue of a Java
@@ -172,6 +183,15 @@ func Run(p *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Model != nil {
 		ex.bubble = cfg.Model.TakenBranchBubble
 	}
+	if cfg.SampleEvery > 0 {
+		if cfg.OnSample == nil {
+			return nil, fmt.Errorf("sim: SampleEvery requires an OnSample hook")
+		}
+		ex.sampleEvery = cfg.SampleEvery
+		ex.nextSample = cfg.SampleEvery
+		ex.onSample = cfg.OnSample
+		ex.pending = map[int]*ir.Fn{}
+	}
 
 	// Run $init (global initializers) before main, as the runtime does.
 	if init := fnIndexByName(p, "$init"); init >= 0 {
@@ -207,6 +227,13 @@ type executor struct {
 	frames []frame
 	limit  int64
 	bubble int
+
+	// Profile-sampling hook state (see profile.go).
+	sampleEvery int64
+	nextSample  int64
+	onSample    func(*Snapshot) []FnSwap
+	pending     map[int]*ir.Fn
+	installed   []int
 }
 
 // callAndRun invokes fn as the runtime would (fresh frame, run to return)
@@ -222,6 +249,10 @@ func (ex *executor) callAndRun(fnIdx int) error {
 		f := ex.p.Fns[fn]
 		if idx == 0 {
 			ex.res.ExecCounts[fn][blk]++
+			if ex.sampleEvery > 0 && ex.res.DynInstrs >= ex.nextSample {
+				ex.sample(fn)
+				f = ex.p.Fns[fn] // the current function may have been hot-swapped
+			}
 		}
 		b := f.Blocks[blk]
 		if idx >= len(b.Instrs) {

@@ -16,7 +16,11 @@
 //     threshold labelling, and leave-one-out cross-validation;
 //   - a whole-program cycle simulator for application-running-time
 //     measurements, plus thirteen benchmark programs reproducing the
-//     computational character of the paper's two suites.
+//     computational character of the paper's two suites;
+//   - a Jikes-RVM-style adaptive optimization system: baseline tier,
+//     sampling profiler, cost/benefit controller, and a concurrent
+//     background pool that recompiles hot functions with filter-gated
+//     scheduling and hot-swaps them in at safe points.
 //
 // Quick start:
 //
@@ -25,6 +29,8 @@
 //	filter, _ := schedfilter.TrainDefaultFilter(m, 20) // induce L/N at t=20
 //	stats := schedfilter.Schedule(m, prog, filter)     // filtered scheduling
 //	res, _ := schedfilter.Execute(prog, m, true)       // timed simulation
+//	ad, _ := schedfilter.ExecuteAdaptive(prog,         // adaptive tiers
+//	    schedfilter.DefaultAdaptiveConfig(m, filter))
 //
 // The experiment harness reproducing every table and figure of the paper
 // lives behind NewExperimentRunner; `go test -bench .` regenerates them as
@@ -34,6 +40,7 @@ package schedfilter
 import (
 	"fmt"
 
+	"schedfilter/internal/adaptive"
 	"schedfilter/internal/bytecode"
 	"schedfilter/internal/core"
 	"schedfilter/internal/experiments"
@@ -96,6 +103,18 @@ type (
 	ExperimentRunner = experiments.Runner
 	// ExperimentConfig parameterizes the harness.
 	ExperimentConfig = experiments.Config
+	// AdaptiveConfig parameterizes the adaptive optimization system.
+	AdaptiveConfig = adaptive.Config
+	// AdaptivePolicy is the controller's cost/benefit promotion model.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptiveResult reports an adaptive run (online + steady state).
+	AdaptiveResult = adaptive.Result
+	// AdaptiveMetrics are the adaptive controller's per-tier counters.
+	AdaptiveMetrics = adaptive.Metrics
+	// ProfileSnapshot is one periodic execution-profile sample.
+	ProfileSnapshot = sim.Snapshot
+	// FnSwap is a safe-point function replacement request.
+	FnSwap = sim.FnSwap
 )
 
 // Fixed protocols (the paper's baselines).
@@ -231,6 +250,27 @@ func TrainDefaultFilter(m *Machine, t int) (*InducedFilter, error) {
 		return nil, err
 	}
 	return training.TrainFilter(data, t, ripper.DefaultOptions()), nil
+}
+
+// DefaultAdaptivePolicy is the stock cost/benefit promotion policy.
+func DefaultAdaptivePolicy() AdaptivePolicy { return adaptive.DefaultPolicy() }
+
+// DefaultAdaptiveConfig configures the adaptive optimization system with
+// the stock sampling rate, pool size, and promotion policy. Set Module
+// on the result to let the background workers recompile promoted
+// functions from bytecode rather than from baseline machine code.
+func DefaultAdaptiveConfig(m *Machine, f Filter) AdaptiveConfig {
+	return AdaptiveConfig{Model: m, Filter: f}
+}
+
+// ExecuteAdaptive runs compiled machine code on the adaptive optimization
+// system: it starts in the baseline (unscheduled) tier, samples the
+// execution profile, promotes hot functions to filter-gated scheduled
+// code on a concurrent background worker pool, hot-swaps them in at safe
+// points, and reports both the online run and the post-adaptation steady
+// state. The input program is not mutated.
+func ExecuteAdaptive(p *Program, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	return adaptive.Run(p, cfg)
 }
 
 // NewExperimentRunner builds the harness that regenerates the paper's
