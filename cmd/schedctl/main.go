@@ -1,0 +1,304 @@
+// Command schedctl is the compile-server client: one-shot requests
+// against a running schedserved, plus a load-generator mode that measures
+// throughput and cache effectiveness.
+//
+// Usage:
+//
+//	schedctl [-addr http://127.0.0.1:8723] <command> [flags]
+//
+// Commands:
+//
+//	compile   -src FILE | -workload NAME [-listing]
+//	schedule  -src FILE | -workload NAME [-filter F] [-no-cache]
+//	predict   -src FILE | -workload NAME [-filter F] [-detail]
+//	execute   -src FILE | -workload NAME [-filter F] [-untimed]
+//	health
+//	metrics
+//	loadgen   [-workload NAME] [-src FILE] [-filter F] [-n 200] [-c 8]
+//
+// Filters: default (the server's), LS, NS, size:N.
+//
+// loadgen fires n identical schedule requests at concurrency c and
+// reports client-side throughput/latency plus the server-side cache hit
+// rate and list-scheduler run count deltas scraped from /metrics — on a
+// repeated workload the hit rate should be ≥ 90% and scheduler runs
+// should stop growing after the first request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schedfilter/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8723", "schedserved base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	c := &client{base: *addr, hc: &http.Client{Timeout: 120 * time.Second}}
+	var err error
+	switch cmd {
+	case "compile", "schedule", "predict", "execute":
+		err = runRequest(c, cmd, args)
+	case "health":
+		err = c.getText("/healthz", os.Stdout)
+	case "metrics":
+		err = c.getText("/metrics", os.Stdout)
+	case "loadgen":
+		err = runLoadgen(c, args)
+	default:
+		fmt.Fprintf(os.Stderr, "schedctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] {compile|schedule|predict|execute|health|metrics|loadgen} [flags]")
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// post sends one JSON request; non-2xx responses come back as errors
+// carrying the server's error body.
+func (c *client) post(path string, req any) ([]byte, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+func (c *client) getText(path string, w io.Writer) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// inputFlags registers the program-input and filter flags shared by every
+// compiler command.
+func inputFlags(fs *flag.FlagSet) (src, workload, filter *string) {
+	src = fs.String("src", "", "Jolt source file")
+	workload = fs.String("workload", "", "bundled benchmark name (alternative to -src)")
+	filter = fs.String("filter", "", "scheduling filter: default, LS, NS, size:N")
+	return
+}
+
+func makeInput(src, workload string) (server.ProgramInput, error) {
+	var in server.ProgramInput
+	switch {
+	case src != "" && workload != "":
+		return in, fmt.Errorf("-src and -workload are mutually exclusive")
+	case src != "":
+		buf, err := os.ReadFile(src)
+		if err != nil {
+			return in, err
+		}
+		in.Source = string(buf)
+	case workload != "":
+		in.Workload = workload
+	default:
+		return in, fmt.Errorf("need -src or -workload")
+	}
+	return in, nil
+}
+
+func runRequest(c *client, cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	src, workload, filter := inputFlags(fs)
+	listing := fs.Bool("listing", false, "compile: include the machine-code listing")
+	noCache := fs.Bool("no-cache", false, "schedule: bypass the scheduled-block cache")
+	detail := fs.Bool("detail", false, "predict: per-block decisions")
+	untimed := fs.Bool("untimed", false, "execute: skip the cycle pipeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := makeInput(*src, *workload)
+	if err != nil {
+		return err
+	}
+	spec := server.FilterSpec{Filter: *filter}
+	var req any
+	switch cmd {
+	case "compile":
+		req = server.CompileRequest{ProgramInput: in, Listing: *listing}
+	case "schedule":
+		req = server.ScheduleRequest{ProgramInput: in, FilterSpec: spec, NoCache: *noCache}
+	case "predict":
+		req = server.PredictRequest{ProgramInput: in, FilterSpec: spec, Detail: *detail}
+	case "execute":
+		req = server.ExecuteRequest{ProgramInput: in, FilterSpec: spec, Untimed: *untimed}
+	}
+	body, err := c.post("/v1/"+cmd, req)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// metricValue scrapes one un-labelled counter from a /metrics exposition.
+func metricValue(text, name string) int64 {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (-?\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return 0
+	}
+	v, _ := strconv.ParseInt(m[1], 10, 64)
+	return v
+}
+
+func (c *client) scrape() (map[string]int64, error) {
+	var buf bytes.Buffer
+	if err := c.getText("/metrics", &buf); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, name := range []string{
+		"codecache_hits_total", "codecache_misses_total", "codecache_evictions_total",
+		"schedserved_scheduler_runs_total", "schedserved_sched_blocks_scheduled_total",
+	} {
+		out[name] = metricValue(buf.String(), name)
+	}
+	return out, nil
+}
+
+func runLoadgen(c *client, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	src, workload, filter := inputFlags(fs)
+	n := fs.Int("n", 200, "total requests")
+	conc := fs.Int("c", 8, "concurrent clients")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" && *workload == "" {
+		*workload = "compress"
+	}
+	in, err := makeInput(*src, *workload)
+	if err != nil {
+		return err
+	}
+	req := server.ScheduleRequest{ProgramInput: in, FilterSpec: server.FilterSpec{Filter: *filter}}
+
+	before, err := c.scrape()
+	if err != nil {
+		return err
+	}
+
+	var (
+		failures   atomic.Int64
+		latencySum atomic.Int64
+		latencyMax atomic.Int64
+		next       atomic.Int64
+		wg         sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(*n) {
+				t0 := time.Now()
+				if _, err := c.post("/v1/schedule", req); err != nil {
+					failures.Add(1)
+					continue
+				}
+				ns := time.Since(t0).Nanoseconds()
+				latencySum.Add(ns)
+				for {
+					old := latencyMax.Load()
+					if ns <= old || latencyMax.CompareAndSwap(old, ns) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := c.scrape()
+	if err != nil {
+		return err
+	}
+	ok := int64(*n) - failures.Load()
+	hits := after["codecache_hits_total"] - before["codecache_hits_total"]
+	misses := after["codecache_misses_total"] - before["codecache_misses_total"]
+	runs := after["schedserved_scheduler_runs_total"] - before["schedserved_scheduler_runs_total"]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	target := *workload
+	if target == "" {
+		target = *src
+	}
+	fmt.Printf("loadgen: %d requests, %d concurrent, target=%s filter=%s\n", *n, *conc, target, orDefault(*filter))
+	fmt.Printf("loadgen: wall %v, %.1f req/s, ok %d, failed %d\n",
+		wall.Round(time.Millisecond), float64(ok)/wall.Seconds(), ok, failures.Load())
+	if ok > 0 {
+		fmt.Printf("loadgen: latency avg %v max %v\n",
+			time.Duration(latencySum.Load()/ok).Round(time.Microsecond),
+			time.Duration(latencyMax.Load()).Round(time.Microsecond))
+	}
+	fmt.Printf("loadgen: cache +%d hits / +%d misses (hit rate %.1f%%), scheduler runs +%d\n",
+		hits, misses, 100*hitRate, runs)
+	if failures.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failures.Load())
+	}
+	return nil
+}
+
+func orDefault(f string) string {
+	if f == "" {
+		return "default"
+	}
+	return f
+}

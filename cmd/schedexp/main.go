@@ -6,18 +6,25 @@
 //	schedexp -exp table3          # one experiment
 //	schedexp -exp all             # everything (takes a minute or two)
 //	schedexp -adaptive            # the adaptive-tier protocol comparison
-//	schedexp -adaptive -json BENCH_adaptive.json   # ...plus JSON artifact
+//	schedexp -adaptive -json                       # ...plus BENCH_adaptive.json
+//	schedexp -exp server -json                     # compile-server benchmark → BENCH_server.json
+//	schedexp -exp server -json -out /tmp/s.json    # ...to an explicit path
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive all
+//	sbfilter adaptive server all
 //
 // The -adaptive flag is shorthand for -exp adaptive: run every benchmark
 // through the adaptive optimization system (baseline tier, sampling
 // profiler, background recompilation) and compare it with the offline
-// NS/LS/filtered protocols. With -json PATH the per-protocol cycle and
-// cost numbers are additionally written as machine-readable JSON.
+// NS/LS/filtered protocols. The server experiment drives the compile
+// service (internal/server) with cold and warm schedule requests per
+// workload and measures what the scheduled-block cache buys.
+//
+// -json additionally writes the step's numbers as a machine-readable
+// artifact; -out overrides the default path (BENCH_adaptive.json or
+// BENCH_server.json). Both artifacts share one write path.
 package main
 
 import (
@@ -29,13 +36,15 @@ import (
 	"schedfilter"
 	"schedfilter/internal/experiments"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/serverbench"
 	"schedfilter/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "which experiment to run (see package doc)")
 	adaptiveMode := flag.Bool("adaptive", false, "run the adaptive-tier comparison (shorthand for -exp adaptive)")
-	jsonPath := flag.String("json", "", "write the adaptive comparison as JSON to this path (e.g. BENCH_adaptive.json)")
+	jsonOut := flag.Bool("json", false, "also write the step's benchmark numbers as a JSON artifact")
+	outPath := flag.String("out", "", "JSON artifact path (default BENCH_adaptive.json / BENCH_server.json per step)")
 	flag.Parse()
 	if *adaptiveMode {
 		*exp = "adaptive"
@@ -43,14 +52,31 @@ func main() {
 
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
 	start := time.Now()
-	if err := run(r, *exp, *jsonPath); err != nil {
+	if err := run(r, *exp, *jsonOut, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "schedexp:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "schedexp: done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(r *experiments.Runner, exp, jsonPath string) error {
+// writeArtifact is the one code path every benchmark JSON artifact goes
+// through: enabled by -json, path from -out or the step's default name.
+func writeArtifact(enabled bool, outPath, defaultPath string, v any) error {
+	if !enabled {
+		return nil
+	}
+	path := outPath
+	if path == "" {
+		path = defaultPath
+	}
+	if err := experiments.WriteJSON(path, v); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "schedexp: wrote %s\n", path)
+	return nil
+}
+
+func run(r *experiments.Runner, exp string, jsonOut bool, outPath string) error {
 	all := exp == "all"
 	did := false
 	show := func(name string, f func() error) error {
@@ -193,13 +219,15 @@ func run(r *experiments.Runner, exp, jsonPath string) error {
 				return err
 			}
 			fmt.Println(res.Render())
-			if jsonPath != "" {
-				if err := res.WriteJSON(jsonPath); err != nil {
-					return err
-				}
-				fmt.Fprintf(os.Stderr, "schedexp: wrote %s\n", jsonPath)
+			return writeArtifact(jsonOut, outPath, "BENCH_adaptive.json", res)
+		}},
+		{"server", func() error {
+			res, err := serverbench.Run(serverbench.Config{})
+			if err != nil {
+				return err
 			}
-			return nil
+			fmt.Println(res.Render())
+			return writeArtifact(jsonOut, outPath, "BENCH_server.json", res)
 		}},
 		{"fig4", func() error {
 			rs, err := r.Figure4()

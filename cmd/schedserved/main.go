@@ -1,0 +1,116 @@
+// Command schedserved is the compile-server daemon: scheduling-as-a-service
+// over HTTP/JSON. It boots a filter (from a persisted model file, or the
+// embedded factory model trained at t=20 over all bundled benchmarks),
+// then serves compile / schedule / predict / execute requests on a bounded
+// worker pool with a shared content-addressed scheduled-block cache.
+//
+// Usage:
+//
+//	schedserved [-addr :8723] [-model rules.txt] [-filter factory]
+//	            [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
+//
+// The -filter flag selects the default filter applied when a request does
+// not name one: "factory" (the loaded model), "LS", "NS", or "size:N".
+// Model files are produced by schedtrain -o or schedfilter.SaveFilter.
+//
+// Observability: GET /metrics (Prometheus text format), GET /healthz,
+// and /debug/pprof. Shutdown on SIGINT/SIGTERM is graceful: the listener
+// closes, in-flight compilations drain (bounded by -drain), then the
+// worker pool exits.
+package main
+
+import (
+	"context"
+	_ "embed"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"schedfilter"
+	"schedfilter/internal/server"
+)
+
+// factoryModel is the "at the factory" filter a JIT would ship: L/N
+// induced at t=20 from every bundled benchmark (schedtrain -suite all
+// -t 20 -o cmd/schedserved/factory_model.txt).
+//
+//go:embed factory_model.txt
+var factoryModel string
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	modelPath := flag.String("model", "", "model file to boot the induced filter from (default: embedded factory model)")
+	filterName := flag.String("filter", "factory", "default request filter: factory, LS, NS, or size:N")
+	workers := flag.Int("workers", 0, "compile worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); overflow is rejected with 429")
+	cacheWeight := flag.Int("cache", 0, "scheduled-block cache bound in words (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	induced, err := loadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	filter, err := pickFilter(*filterName, induced)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := server.New(server.Config{
+		Filter:      filter,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheWeight: *cacheWeight,
+	})
+	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (filter %s, %d rules in model)\n",
+		*addr, filter.Name(), len(induced.Rules.Rules))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "schedserved: drained, bye")
+}
+
+func loadModel(path string) (*schedfilter.InducedFilter, error) {
+	if path == "" {
+		f, err := schedfilter.ParseFilter(factoryModel)
+		if err != nil {
+			return nil, fmt.Errorf("embedded factory model: %w", err)
+		}
+		return f, nil
+	}
+	return schedfilter.LoadFilter(path)
+}
+
+func pickFilter(name string, induced *schedfilter.InducedFilter) (schedfilter.Filter, error) {
+	switch {
+	case strings.EqualFold(name, "factory"):
+		return induced, nil
+	case strings.EqualFold(name, "LS"):
+		return schedfilter.AlwaysSchedule, nil
+	case strings.EqualFold(name, "NS"):
+		return schedfilter.NeverSchedule, nil
+	case strings.HasPrefix(name, "size:"):
+		n, err := strconv.Atoi(name[len("size:"):])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -filter %q (want size:N)", name)
+		}
+		return schedfilter.SizeFilter(n), nil
+	default:
+		return nil, fmt.Errorf("unknown -filter %q (want factory, LS, NS, or size:N)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedserved:", err)
+	os.Exit(1)
+}

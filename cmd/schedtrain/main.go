@@ -83,16 +83,18 @@ func main() {
 	} else {
 		filter = schedfilter.TrainFilter(data, *t, schedfilter.DefaultRipperOptions())
 	}
-	text := filter.Rules.String()
 
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		// Model files are written in the round-trippable full-precision
+		// format (label header included) so the compile-server daemon can
+		// boot from them with schedfilter.LoadFilter.
+		if err := schedfilter.SaveFilter(*out, filter); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "schedtrain: wrote %s (%d rules)\n", *out, len(filter.Rules.Rules))
 		return
 	}
-	fmt.Print(text)
+	fmt.Print(filter.Rules.String())
 }
 
 func fatal(err error) {

@@ -1,0 +1,106 @@
+package schedfilter
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"schedfilter/internal/ripper"
+)
+
+func testFilter() *InducedFilter {
+	rs := &RuleSet{
+		Names:    FeatureNames,
+		PosLabel: "list",
+		NegLabel: "orig",
+		Rules: []ripper.Rule{
+			{Conds: []ripper.Condition{
+				{Attr: 0, LE: false, Val: 7},
+				{Attr: 3, LE: true, Val: 1.0 / 3.0},
+			}, TP: 924, FP: 12},
+		},
+		DefaultTP: 27476,
+		DefaultFP: 1946,
+	}
+	return NewRuleFilter(rs, "L/N t=20 (test)")
+}
+
+func TestSaveLoadFilterRoundTrip(t *testing.T) {
+	f := testFilter()
+	path := filepath.Join(t.TempDir(), "model.txt")
+	if err := SaveFilter(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFilter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != f.Label {
+		t.Fatalf("label = %q, want %q", back.Label, f.Label)
+	}
+	if !reflect.DeepEqual(back.Rules, f.Rules) {
+		t.Fatalf("rules drifted through save/load:\n got %#v\nwant %#v", back.Rules, f.Rules)
+	}
+}
+
+func TestParseFilterWithoutHeader(t *testing.T) {
+	f := testFilter()
+	// Plain rule text (e.g. from an old schedtrain -o file): no label.
+	back, err := ParseFilter(f.Rules.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "L/N" {
+		t.Fatalf("headerless model got label %q, want default", back.Name())
+	}
+	if !reflect.DeepEqual(back.Rules, f.Rules) {
+		t.Fatal("rules drifted through headerless parse")
+	}
+}
+
+func TestParseFilterRejectsGarbage(t *testing.T) {
+	if _, err := ParseFilter("( 1/ 2) list :- nosuchfeature >= 3.\n"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestScheduleWithCacheFacade(t *testing.T) {
+	prog, err := CompileSource(tinyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	c := NewScheduleCache(0)
+	cold := ScheduleWithCache(m, prog.Clone(), AlwaysSchedule, c)
+	if cold.CacheMisses == 0 {
+		t.Fatalf("cold pass had no misses: %+v", cold)
+	}
+	warm := ScheduleWithCache(m, prog.Clone(), AlwaysSchedule, c)
+	if warm.CacheMisses != 0 || warm.CacheHits != warm.Scheduled {
+		t.Fatalf("warm pass not fully cached: %+v", warm)
+	}
+	if st := c.Stats(); st.HitRate() <= 0 {
+		t.Fatalf("cache stats empty: %+v", st)
+	}
+}
+
+func TestFingerprintFacade(t *testing.T) {
+	prog, err := CompileSource(tinyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	b := prog.Fns[prog.Entry].Blocks[0]
+	if FingerprintBlock(m, b) != FingerprintBlock(m, b.Clone()) {
+		t.Fatal("identical blocks fingerprint differently")
+	}
+	k1 := FingerprintProgram(m, "LS", prog)
+	k2 := FingerprintProgram(m, "NS", prog)
+	if k1 == k2 {
+		t.Fatal("program fingerprint ignores context label")
+	}
+	if !strings.Contains(FormatFilter(testFilter()), "# filter: L/N t=20 (test)") {
+		t.Fatal("model text missing filter header")
+	}
+}

@@ -1,0 +1,215 @@
+// Package codecache is a sharded, content-addressed cache of scheduling
+// results. Entries are keyed by a fingerprint of a basic block's
+// instruction content plus the machine model it was scheduled for, so a
+// block that has been list-scheduled once — in any function, any program,
+// any request — is never scheduled again: the cached instruction order is
+// replayed instead.
+//
+// The cache is the storage layer of the compile service (internal/server):
+// JIT-compiled code is highly repetitive (inlining and unrolling stamp out
+// identical block bodies), and across requests whole programs recur, so a
+// modest cache converts nearly all scheduling work into lookups.
+//
+// Design:
+//
+//   - Keys are 256-bit SHA-256 digests of the canonical block encoding
+//     (fingerprint.go). Matching digests are trusted to mean matching
+//     content, but every entry still records the instruction count of the
+//     block it was computed from; a lookup whose block length disagrees is
+//     rejected as a collision rather than replayed (a wrong-length
+//     permutation would corrupt the block).
+//   - The key space is split across power-of-two shards, each an
+//     independently locked size-bounded LRU (hash map + intrusive list),
+//     so concurrent compile workers do not serialize on one mutex.
+//   - Hits, misses, insertions, evictions, and collision rejections are
+//     counted per shard and summed on demand; the server exposes them at
+//     /metrics and the load generator asserts on them.
+package codecache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached scheduling result: what the list scheduler decided
+// for a block with this content on this machine model.
+type Entry struct {
+	// NInstrs is the instruction count of the source block. Lookups
+	// presenting a different count are rejected (fingerprint collision).
+	NInstrs int
+	// Order maps output position to original instruction index; empty
+	// when the scheduled order equals the original order.
+	Order []int32
+	// CostBefore and CostAfter are the estimator makespans of the
+	// original and scheduled orders.
+	CostBefore int
+	CostAfter  int
+	// Changed reports whether scheduling reordered the block.
+	Changed bool
+}
+
+// weight is the entry's approximate cache footprint in words, used for
+// the size bound: one unit for the entry itself plus its order vector.
+func (e *Entry) weight() int { return 1 + len(e.Order) }
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes.
+	Hits   int64
+	Misses int64
+	// Inserts counts successful Insert calls (not replays of an
+	// already-present key).
+	Inserts int64
+	// Evictions counts entries dropped by the LRU size bound.
+	Evictions int64
+	// Collisions counts lookups rejected because the stored entry's
+	// instruction count disagreed with the presented block.
+	Collisions int64
+	// Entries is the current entry count; Weight the current footprint
+	// in words (Σ 1+len(Order)).
+	Entries int
+	Weight  int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const numShards = 16 // power of two; shard = first key byte & (numShards-1)
+
+// Cache is a sharded content-addressed scheduled-block cache. The zero
+// value is not usable; call New.
+type Cache struct {
+	shards    [numShards]shard
+	maxWeight int
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     list.List // front = most recent; values are *node
+	weight  int
+
+	hits, misses, inserts, evictions, collisions int64
+}
+
+type node struct {
+	key   Key
+	entry Entry
+}
+
+// New returns a cache bounded to approximately maxWeight words across all
+// shards (Σ over entries of 1+len(Order)). maxWeight <= 0 selects a
+// default sized for a few thousand typical blocks.
+func New(maxWeight int) *Cache {
+	if maxWeight <= 0 {
+		maxWeight = 1 << 16
+	}
+	if maxWeight < numShards {
+		maxWeight = numShards
+	}
+	c := &Cache{maxWeight: maxWeight}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru.Init()
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard { return &c.shards[k[0]&(numShards-1)] }
+
+// Lookup returns the entry stored under k, if any. nInstrs is the
+// instruction count of the block about to be scheduled; an entry whose
+// recorded count disagrees is a fingerprint collision and reported as a
+// miss (and counted separately).
+func (c *Cache) Lookup(k Key, nInstrs int) (Entry, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		return Entry{}, false
+	}
+	n := el.Value.(*node)
+	if n.entry.NInstrs != nInstrs {
+		s.collisions++
+		s.misses++
+		return Entry{}, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	return n.entry, true
+}
+
+// Insert stores e under k, evicting least-recently-used entries from the
+// key's shard if its share of the size bound is exceeded. Re-inserting an
+// existing key refreshes its recency but keeps the first entry.
+func (c *Cache) Insert(k Key, e Entry) {
+	s := c.shardFor(k)
+	perShard := c.maxWeight / numShards
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&node{key: k, entry: e})
+	s.weight += e.weight()
+	s.inserts++
+	for s.weight > perShard && s.lru.Len() > 1 {
+		last := s.lru.Back()
+		n := last.Value.(*node)
+		s.lru.Remove(last)
+		delete(s.entries, n.key)
+		s.weight -= n.entry.weight()
+		s.evictions++
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats sums the per-shard counters into one snapshot.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Inserts += s.inserts
+		st.Evictions += s.evictions
+		st.Collisions += s.collisions
+		st.Entries += s.lru.Len()
+		st.Weight += s.weight
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[Key]*list.Element)
+		s.lru.Init()
+		s.weight = 0
+		s.hits, s.misses, s.inserts, s.evictions, s.collisions = 0, 0, 0, 0, 0
+		s.mu.Unlock()
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"schedfilter/internal/codecache"
 	"schedfilter/internal/features"
 	"schedfilter/internal/ir"
 	"schedfilter/internal/machine"
@@ -27,6 +28,12 @@ type Stats struct {
 	// blocks before and after the pass.
 	CostBefore int64
 	CostAfter  int64
+	// CacheHits and CacheMisses split Scheduled for cached passes
+	// (ApplyFilterCached): blocks replayed from the content-addressed
+	// cache vs actually run through the list scheduler. Both zero for
+	// uncached passes.
+	CacheHits   int
+	CacheMisses int
 }
 
 // ApplyFilter runs the scheduling phase over every block of the program,
@@ -37,10 +44,20 @@ type Stats struct {
 // does no work at all, LS skips feature extraction, and only the filtered
 // protocol pays for features plus rule evaluation.
 func ApplyFilter(m *machine.Model, p *ir.Program, f Filter) Stats {
+	return ApplyFilterCached(m, p, f, nil)
+}
+
+// ApplyFilterCached is ApplyFilter backed by a content-addressed
+// scheduled-block cache: blocks the filter approves are looked up by
+// fingerprint first, and only cache misses run the list scheduler (the
+// result is then inserted for the next identical block). A nil cache
+// degrades to ApplyFilter. This is the compile service's scheduling entry
+// point — across repeated requests nearly every block is a replay.
+func ApplyFilterCached(m *machine.Model, p *ir.Program, f Filter, c *codecache.Cache) Stats {
 	var st Stats
 	start := time.Now()
 	for _, fn := range p.Fns {
-		applyFnBlocks(m, fn, f, &st)
+		applyFnBlocks(m, fn, f, c, &st)
 	}
 	st.SchedTime = time.Since(start)
 	return st
@@ -52,12 +69,12 @@ func ApplyFilter(m *machine.Model, p *ir.Program, f Filter) Stats {
 func ApplyFilterFn(m *machine.Model, fn *ir.Fn, f Filter) Stats {
 	var st Stats
 	start := time.Now()
-	applyFnBlocks(m, fn, f, &st)
+	applyFnBlocks(m, fn, f, nil, &st)
 	st.SchedTime = time.Since(start)
 	return st
 }
 
-func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, st *Stats) {
+func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, c *codecache.Cache, st *Stats) {
 	_, always := f.(Always)
 	_, never := f.(Never)
 	for _, b := range fn.Blocks {
@@ -74,7 +91,14 @@ func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, st *Stats) {
 			}
 		}
 		st.Scheduled++
-		res := sched.ScheduleBlock(m, b)
+		res, hit := sched.ScheduleBlockCached(m, b, c)
+		if c != nil {
+			if hit {
+				st.CacheHits++
+			} else {
+				st.CacheMisses++
+			}
+		}
 		st.CostBefore += int64(res.CostBefore)
 		st.CostAfter += int64(res.CostAfter)
 		if res.Changed {

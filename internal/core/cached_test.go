@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"schedfilter/internal/codecache"
+	"schedfilter/internal/machine"
+)
+
+// The cached pass must produce byte-identical programs to the uncached
+// pass, and a repeat over identical content must be served entirely from
+// the cache without re-running the list scheduler.
+func TestApplyFilterCachedMatchesUncached(t *testing.T) {
+	m := machine.NewMPC7410()
+	base := genProgram(6, 24)
+	c := codecache.New(1 << 16)
+
+	uncached := base.Clone()
+	stU := ApplyFilter(m, uncached, Always{})
+
+	first := base.Clone()
+	st1 := ApplyFilterCached(m, first, Always{}, c)
+	if first.String() != uncached.String() {
+		t.Fatal("cached pass (cold) produced different code than uncached pass")
+	}
+	if st1.CacheHits != 0 && st1.CacheMisses == 0 {
+		t.Fatalf("cold pass stats: %+v", st1)
+	}
+	if st1.CostBefore != stU.CostBefore || st1.CostAfter != stU.CostAfter {
+		t.Fatalf("cold-pass costs %d/%d differ from uncached %d/%d",
+			st1.CostBefore, st1.CostAfter, stU.CostBefore, stU.CostAfter)
+	}
+
+	second := base.Clone()
+	st2 := ApplyFilterCached(m, second, Always{}, c)
+	if second.String() != uncached.String() {
+		t.Fatal("cached pass (warm) produced different code than uncached pass")
+	}
+	if st2.CacheMisses != 0 {
+		t.Fatalf("warm pass ran the scheduler %d times; want 0 (stats %+v)", st2.CacheMisses, st2)
+	}
+	if st2.CacheHits != st2.Scheduled {
+		t.Fatalf("warm pass hits %d != scheduled %d", st2.CacheHits, st2.Scheduled)
+	}
+	if st2.Changed != st1.Changed || st2.CostAfter != st1.CostAfter {
+		t.Fatalf("warm pass stats drifted: cold %+v warm %+v", st1, st2)
+	}
+}
+
+// A nil cache must behave exactly like the uncached entry point.
+func TestApplyFilterCachedNilCache(t *testing.T) {
+	m := machine.NewMPC7410()
+	p := genProgram(7, 8)
+	st := ApplyFilterCached(m, p.Clone(), Always{}, nil)
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("nil cache reported cache traffic: %+v", st)
+	}
+}
+
+// NS with a cache does no scheduling and no cache traffic.
+func TestApplyFilterCachedNever(t *testing.T) {
+	m := machine.NewMPC7410()
+	c := codecache.New(1 << 12)
+	st := ApplyFilterCached(m, genProgram(8, 8), Never{}, c)
+	if st.Scheduled != 0 || st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("NS touched the cache: %+v", st)
+	}
+	if got := c.Stats(); got.Hits+got.Misses != 0 {
+		t.Fatalf("NS generated cache lookups: %+v", got)
+	}
+}

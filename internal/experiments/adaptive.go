@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -159,10 +157,4 @@ func (a *AdaptiveResult) Render() string {
 
 // WriteJSON writes the comparison as machine-readable JSON (the
 // BENCH_adaptive.json artifact tracked across PRs).
-func (a *AdaptiveResult) WriteJSON(path string) error {
-	buf, err := json.MarshalIndent(a, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
-}
+func (a *AdaptiveResult) WriteJSON(path string) error { return WriteJSON(path, a) }

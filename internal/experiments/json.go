@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON writes v as indented JSON to path — the one code path every
+// benchmark artifact (BENCH_adaptive.json, BENCH_server.json, ...) goes
+// through.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -12,6 +12,7 @@ package ripper
 import (
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Dataset is a labelled training set. Row i of X is an attribute vector;
@@ -58,7 +59,7 @@ func (c Condition) Match(x []float64) bool {
 	return x[c.Attr] >= c.Val
 }
 
-func (c Condition) format(names []string) string {
+func (c Condition) format(names []string, precise bool) string {
 	name := fmt.Sprintf("a%d", c.Attr)
 	if c.Attr < len(names) {
 		name = names[c.Attr]
@@ -67,7 +68,11 @@ func (c Condition) format(names []string) string {
 	if c.LE {
 		op = "<="
 	}
-	return fmt.Sprintf("%s %s %s", name, op, trimFloat(c.Val))
+	val := trimFloat(c.Val)
+	if precise {
+		val = strconv.FormatFloat(c.Val, 'g', -1, 64)
+	}
+	return fmt.Sprintf("%s %s %s", name, op, val)
 }
 
 func trimFloat(v float64) string {

@@ -13,8 +13,25 @@ import (
 //	(27476/1946) orig :- .
 //
 // The two leading numbers are the correct and incorrect training matches
-// of each rule; the final line is the default rule.
-func (rs *RuleSet) String() string {
+// of each rule; the final line is the default rule. Condition values are
+// rounded for display; use Format for a lossless rendering.
+func (rs *RuleSet) String() string { return rs.render(false) }
+
+// Format renders the rule set in the same text shape as String but with
+// full-precision condition values and a "# labels:" directive, so the
+// serialization round-trips exactly: Parse(rs.Format(), rs.Names)
+// reproduces rs field for field — even for rule sets with no positive
+// rules, whose labels appear nowhere else in the text. This is the
+// persistence format of model files (schedfilter.SaveFilter) that the
+// compile-server daemon boots from.
+func (rs *RuleSet) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# labels: %s %s\n", rs.PosLabel, rs.NegLabel)
+	b.WriteString(rs.render(true))
+	return b.String()
+}
+
+func (rs *RuleSet) render(precise bool) string {
 	var b strings.Builder
 	for i := range rs.Rules {
 		r := &rs.Rules[i]
@@ -23,7 +40,7 @@ func (rs *RuleSet) String() string {
 			if j > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(c.format(rs.Names))
+			b.WriteString(c.format(rs.Names, precise))
 		}
 		b.WriteString(".\n")
 	}
@@ -41,6 +58,13 @@ func Parse(text string, names []string) (*RuleSet, error) {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			// "# labels: <pos> <neg>" (emitted by Format) pins the class
+			// labels; all other comments are skipped.
+			if rest, ok := strings.CutPrefix(line, "# labels:"); ok {
+				if fields := strings.Fields(rest); len(fields) == 2 {
+					rs.PosLabel, rs.NegLabel = fields[0], fields[1]
+				}
+			}
 			continue
 		}
 		tp, fp, rest, err := parseCounts(line)
@@ -55,7 +79,13 @@ func Parse(text string, names []string) (*RuleSet, error) {
 		body = strings.TrimSuffix(strings.TrimSpace(body), ".")
 		body = strings.TrimSpace(body)
 		if body == "" {
-			// Default rule.
+			// An empty body is normally the default rule, but an empty
+			// *positive* rule (one that covers everything) renders the
+			// same way; the label disambiguates.
+			if rs.PosLabel != "" && label == rs.PosLabel {
+				rs.Rules = append(rs.Rules, Rule{TP: tp, FP: fp})
+				continue
+			}
 			rs.NegLabel = label
 			rs.DefaultTP, rs.DefaultFP = tp, fp
 			continue

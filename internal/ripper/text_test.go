@@ -1,0 +1,120 @@
+package ripper
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Format must be lossless: Parse(Format(rs)) reproduces the rule set
+// exactly, including condition values that String would round away.
+func TestFormatParseRoundTripExact(t *testing.T) {
+	rs := &RuleSet{
+		Names:    []string{"bbLen", "calls", "loads"},
+		PosLabel: "list",
+		NegLabel: "orig",
+		Rules: []Rule{
+			{Conds: []Condition{
+				{Attr: 0, LE: false, Val: 7},
+				{Attr: 1, LE: true, Val: 1.0 / 3.0},       // 0.3333333333333333
+				{Attr: 2, LE: false, Val: 0.123456789012}, // > 4 significant digits
+			}, TP: 924, FP: 12},
+			{Conds: []Condition{{Attr: 0, LE: true, Val: math.Pi}}, TP: 3, FP: 1},
+			{TP: 2, FP: 0}, // empty positive rule: covers everything
+		},
+		DefaultTP: 27476,
+		DefaultFP: 1946,
+	}
+	back, err := Parse(rs.Format(), rs.Names)
+	if err != nil {
+		t.Fatalf("Parse(Format): %v\n%s", err, rs.Format())
+	}
+	if !reflect.DeepEqual(back, rs) {
+		t.Fatalf("round trip drifted:\n got %#v\nwant %#v\ntext:\n%s", back, rs, rs.Format())
+	}
+}
+
+// String (the display format) is lossy by design; Format must agree with
+// it on everything except precision.
+func TestFormatPredictsLikeOriginal(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ds := synth(r, 400, func(x []float64) bool { return x[0] > 0.4 && x[2] < 0.7 }, 0.05)
+	rs := Induce(ds, DefaultOptions())
+	back, err := Parse(rs.Format(), ds.Names)
+	if err != nil {
+		t.Fatalf("Parse(Format): %v", err)
+	}
+	if !reflect.DeepEqual(back, rs) {
+		t.Fatalf("induced rule set did not round trip:\n%s", rs.Format())
+	}
+	for i := range ds.X {
+		if back.Predict(ds.X[i]) != rs.Predict(ds.X[i]) {
+			t.Fatalf("prediction drift on instance %d", i)
+		}
+	}
+}
+
+// Property: many random rule sets round trip exactly.
+func TestFormatParseRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	names := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 200; trial++ {
+		rs := &RuleSet{Names: names, PosLabel: "list", NegLabel: "orig",
+			DefaultTP: r.Intn(100000), DefaultFP: r.Intn(10000)}
+		for nr := r.Intn(5); nr > 0; nr-- {
+			rule := Rule{TP: r.Intn(100000), FP: r.Intn(10000)}
+			for nc := 1 + r.Intn(4); nc > 0; nc-- {
+				rule.Conds = append(rule.Conds, Condition{
+					Attr: r.Intn(len(names)),
+					LE:   r.Intn(2) == 0,
+					Val:  mutateVal(r),
+				})
+			}
+			rs.Rules = append(rs.Rules, rule)
+		}
+		back, err := Parse(rs.Format(), names)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(Format): %v\n%s", trial, err, rs.Format())
+		}
+		if !reflect.DeepEqual(back, rs) {
+			t.Fatalf("trial %d: round trip drifted\ntext:\n%s", trial, rs.Format())
+		}
+	}
+}
+
+// mutateVal produces values across the shapes float64 can take: integers,
+// tiny/huge magnitudes, and full-precision irrationals.
+func mutateVal(r *rand.Rand) float64 {
+	switch r.Intn(4) {
+	case 0:
+		return float64(r.Intn(1000))
+	case 1:
+		return r.Float64()
+	case 2:
+		return r.Float64() * 1e-12
+	default:
+		return r.NormFloat64() * 1e9
+	}
+}
+
+// The display format stays readable: values rounded, counts padded.
+func TestStringStillRounds(t *testing.T) {
+	rs := &RuleSet{
+		Names:    []string{"x"},
+		PosLabel: "list", NegLabel: "orig",
+		Rules: []Rule{{Conds: []Condition{{Attr: 0, LE: true, Val: 1.0 / 3.0}}}},
+	}
+	if want := "x <= 0.3333."; !containsStr(rs.String(), want) {
+		t.Fatalf("String() lost its display rounding:\n%s", rs.String())
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

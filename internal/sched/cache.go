@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"schedfilter/internal/codecache"
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// ScheduleBlockCached list-schedules a block in place like ScheduleBlock,
+// but consults the content-addressed cache first: if a block with
+// identical instruction content has been scheduled on this model before,
+// the cached order is replayed instead of re-running the scheduler. The
+// boolean reports whether the result came from the cache.
+//
+// A nil cache degrades to ScheduleBlock.
+func ScheduleBlockCached(m *machine.Model, b *ir.Block, c *codecache.Cache) (Result, bool) {
+	if c == nil {
+		return ScheduleBlock(m, b), false
+	}
+	key := codecache.BlockKey(m.Name, b.Instrs)
+	if e, ok := c.Lookup(key, len(b.Instrs)); ok {
+		res := Result{CostBefore: e.CostBefore, CostAfter: e.CostAfter, Changed: e.Changed}
+		res.Order = make([]int, len(b.Instrs))
+		if e.Changed {
+			for i, v := range e.Order {
+				res.Order[i] = int(v)
+			}
+			b.Instrs = res.Apply(b.Instrs)
+		} else {
+			for i := range res.Order {
+				res.Order[i] = i
+			}
+		}
+		return res, true
+	}
+	res := ScheduleBlock(m, b)
+	entry := codecache.Entry{
+		NInstrs:    len(b.Instrs),
+		CostBefore: res.CostBefore,
+		CostAfter:  res.CostAfter,
+		Changed:    res.Changed,
+	}
+	if res.Changed {
+		entry.Order = make([]int32, len(res.Order))
+		for i, v := range res.Order {
+			entry.Order[i] = int32(v)
+		}
+	}
+	c.Insert(key, entry)
+	return res, false
+}

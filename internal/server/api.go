@@ -1,0 +1,137 @@
+package server
+
+// The compile service's JSON wire types. Every compiler endpoint accepts
+// the same input shape: Jolt source (or the name of a bundled benchmark
+// workload), plus an optional filter selector. Errors come back as
+// ErrorResponse with a non-2xx status.
+
+// ProgramInput names the code a request operates on: inline Jolt source,
+// or one of the bundled benchmark workloads.
+type ProgramInput struct {
+	// Source is a complete Jolt program.
+	Source string `json:"source,omitempty"`
+	// Workload is the name of a bundled benchmark (e.g. "compress");
+	// mutually exclusive with Source.
+	Workload string `json:"workload,omitempty"`
+}
+
+// FilterSpec selects the scheduling filter for a request.
+type FilterSpec struct {
+	// Filter is "default" (or empty: the server's configured filter),
+	// "LS" (always schedule), "NS" (never), or "size:N" (block length
+	// threshold).
+	Filter string `json:"filter,omitempty"`
+	// Model is inline model text (schedfilter.FormatFilter format); it
+	// overrides Filter when set.
+	Model string `json:"model,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CompileRequest is the input of POST /v1/compile.
+type CompileRequest struct {
+	ProgramInput
+	// Listing requests the compiled machine code as text.
+	Listing bool `json:"listing,omitempty"`
+}
+
+// CompileResponse reports a compilation.
+type CompileResponse struct {
+	Fns       int    `json:"fns"`
+	Blocks    int    `json:"blocks"`
+	Instrs    int    `json:"instrs"`
+	CompileNs int64  `json:"compile_ns"`
+	Listing   string `json:"listing,omitempty"`
+}
+
+// ScheduleRequest is the input of POST /v1/schedule: compile, then run
+// the filter-driven scheduling pass through the scheduled-block cache.
+type ScheduleRequest struct {
+	ProgramInput
+	FilterSpec
+	// NoCache bypasses the scheduled-block cache (every approved block
+	// runs the list scheduler).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// ScheduleResponse reports a scheduling pass.
+type ScheduleResponse struct {
+	Filter       string `json:"filter"`
+	Blocks       int    `json:"blocks"`
+	Scheduled    int    `json:"scheduled"`
+	NotScheduled int    `json:"not_scheduled"`
+	Changed      int    `json:"changed"`
+	// CacheHits and CacheMisses split Scheduled: replayed from the
+	// content-addressed cache vs actually list-scheduled.
+	CacheHits   int   `json:"cache_hits"`
+	CacheMisses int   `json:"cache_misses"`
+	CostBefore  int64 `json:"cost_before"`
+	CostAfter   int64 `json:"cost_after"`
+	CompileNs   int64 `json:"compile_ns"`
+	SchedNs     int64 `json:"sched_ns"`
+	// ProgramKey is the hex content fingerprint of the scheduled program
+	// (model + filter + code).
+	ProgramKey string `json:"program_key"`
+}
+
+// PredictRequest is the input of POST /v1/predict: run only the filter
+// (features + rules), no scheduling.
+type PredictRequest struct {
+	ProgramInput
+	FilterSpec
+	// Detail requests per-block decisions; without it only the
+	// aggregates are returned.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// BlockDecision is one block's prediction.
+type BlockDecision struct {
+	Fn       string `json:"fn"`
+	Block    int    `json:"block"`
+	BBLen    int    `json:"bb_len"`
+	Schedule bool   `json:"schedule"`
+}
+
+// PredictResponse reports the filter's decisions.
+type PredictResponse struct {
+	Filter        string          `json:"filter"`
+	Blocks        int             `json:"blocks"`
+	WouldSchedule int             `json:"would_schedule"`
+	Decisions     []BlockDecision `json:"decisions,omitempty"`
+}
+
+// ExecuteRequest is the input of POST /v1/execute: compile, schedule
+// under the filter (cached), then run the program on the cycle-timed
+// simulator.
+type ExecuteRequest struct {
+	ProgramInput
+	FilterSpec
+	// Untimed skips the cycle pipeline (functional run only).
+	Untimed bool `json:"untimed,omitempty"`
+}
+
+// ExecuteResponse reports a simulated run.
+type ExecuteResponse struct {
+	Filter    string   `json:"filter"`
+	Ret       int64    `json:"ret"`
+	Cycles    int64    `json:"cycles,omitempty"`
+	DynInstrs int64    `json:"dyn_instrs"`
+	Output    []string `json:"output,omitempty"`
+	// Scheduling-pass accounting for the run's compile.
+	Scheduled   int   `json:"scheduled"`
+	CacheHits   int   `json:"cache_hits"`
+	CacheMisses int   `json:"cache_misses"`
+	CompileNs   int64 `json:"compile_ns"`
+	SchedNs     int64 `json:"sched_ns"`
+	SimNs       int64 `json:"sim_ns"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Filter string `json:"filter"`
+	Model  string `json:"model"`
+}

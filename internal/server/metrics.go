@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// epStats are one endpoint's counters. All fields are atomics: handlers
+// on different connections record concurrently.
+type epStats struct {
+	ok        atomic.Int64 // 2xx responses
+	clientErr atomic.Int64 // 4xx other than 429
+	rejected  atomic.Int64 // 429 (queue full)
+	serverErr atomic.Int64 // 5xx
+	latencyNs atomic.Int64 // Σ handler latency, successful responses
+	maxNs     atomic.Int64 // max handler latency, successful responses
+}
+
+func (e *epStats) record(status int, elapsed time.Duration) {
+	switch {
+	case status == 429:
+		e.rejected.Add(1)
+	case status >= 500:
+		e.serverErr.Add(1)
+	case status >= 400:
+		e.clientErr.Add(1)
+	default:
+		e.ok.Add(1)
+		ns := elapsed.Nanoseconds()
+		e.latencyNs.Add(ns)
+		for {
+			old := e.maxNs.Load()
+			if ns <= old || e.maxNs.CompareAndSwap(old, ns) {
+				break
+			}
+		}
+	}
+}
+
+// metrics aggregates the server's observable state: per-endpoint request
+// counters and latencies, scheduling-pass totals, and (joined in at
+// render time) the cache and pool gauges.
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*epStats // fixed key set, filled at construction
+
+	// Scheduling-pass totals across schedule and execute requests.
+	// SchedulerRuns counts actual list-scheduler invocations (cache
+	// misses); a fully cached request adds zero — the counter the load
+	// generator asserts on.
+	blocksSeen      atomic.Int64
+	blocksScheduled atomic.Int64
+	schedulerRuns   atomic.Int64
+	cacheHits       atomic.Int64
+	schedNs         atomic.Int64
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*epStats, len(endpoints))}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &epStats{}
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *epStats {
+	if e, ok := m.endpoints[name]; ok {
+		return e
+	}
+	return &epStats{} // unknown endpoint: record into a throwaway
+}
+
+// render writes the Prometheus text exposition. srv supplies the live
+// cache and pool gauges.
+func (m *metrics) render(s *Server) string {
+	var b strings.Builder
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	b.WriteString("# HELP schedserved_requests_total Requests by endpoint and outcome.\n")
+	b.WriteString("# TYPE schedserved_requests_total counter\n")
+	for _, name := range names {
+		e := m.endpoints[name]
+		fmt.Fprintf(&b, "schedserved_requests_total{endpoint=%q,outcome=\"ok\"} %d\n", name, e.ok.Load())
+		fmt.Fprintf(&b, "schedserved_requests_total{endpoint=%q,outcome=\"client_error\"} %d\n", name, e.clientErr.Load())
+		fmt.Fprintf(&b, "schedserved_requests_total{endpoint=%q,outcome=\"rejected\"} %d\n", name, e.rejected.Load())
+		fmt.Fprintf(&b, "schedserved_requests_total{endpoint=%q,outcome=\"server_error\"} %d\n", name, e.serverErr.Load())
+	}
+	b.WriteString("# HELP schedserved_latency_ns Handler latency of successful responses.\n")
+	b.WriteString("# TYPE schedserved_latency_ns_sum counter\n")
+	for _, name := range names {
+		e := m.endpoints[name]
+		fmt.Fprintf(&b, "schedserved_latency_ns_sum{endpoint=%q} %d\n", name, e.latencyNs.Load())
+		fmt.Fprintf(&b, "schedserved_latency_ns_max{endpoint=%q} %d\n", name, e.maxNs.Load())
+	}
+
+	b.WriteString("# HELP schedserved_sched_blocks Scheduling-pass totals across requests.\n")
+	fmt.Fprintf(&b, "schedserved_sched_blocks_seen_total %d\n", m.blocksSeen.Load())
+	fmt.Fprintf(&b, "schedserved_sched_blocks_scheduled_total %d\n", m.blocksScheduled.Load())
+	fmt.Fprintf(&b, "schedserved_scheduler_runs_total %d\n", m.schedulerRuns.Load())
+	fmt.Fprintf(&b, "schedserved_sched_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(&b, "schedserved_sched_time_ns_total %d\n", m.schedNs.Load())
+
+	cs := s.cache.Stats()
+	b.WriteString("# HELP codecache Content-addressed scheduled-block cache.\n")
+	fmt.Fprintf(&b, "codecache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "codecache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "codecache_inserts_total %d\n", cs.Inserts)
+	fmt.Fprintf(&b, "codecache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(&b, "codecache_collisions_total %d\n", cs.Collisions)
+	fmt.Fprintf(&b, "codecache_entries %d\n", cs.Entries)
+	fmt.Fprintf(&b, "codecache_weight_words %d\n", cs.Weight)
+
+	b.WriteString("# HELP schedserved_pool Worker-pool gauges.\n")
+	fmt.Fprintf(&b, "schedserved_pool_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(&b, "schedserved_pool_queue_capacity %d\n", s.cfg.QueueDepth)
+	fmt.Fprintf(&b, "schedserved_pool_queue_depth %d\n", s.pool.QueueDepth())
+	fmt.Fprintf(&b, "schedserved_pool_inflight %d\n", s.pool.Inflight())
+	fmt.Fprintf(&b, "schedserved_uptime_seconds %d\n", int64(time.Since(m.start).Seconds()))
+	return b.String()
+}

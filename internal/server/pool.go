@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Backpressure errors. The HTTP layer maps ErrBusy to 429 Too Many
+// Requests and ErrClosed to 503 Service Unavailable.
+var (
+	// ErrBusy means the admission queue is full: the client should back
+	// off and retry.
+	ErrBusy = errors.New("server: compile queue full")
+	// ErrClosed means the server is draining for shutdown.
+	ErrClosed = errors.New("server: shutting down")
+)
+
+// pool is the bounded worker pool every compilation request runs on. The
+// HTTP handlers are cheap (decode, enqueue, encode); all compiler work
+// happens on the pool's fixed worker set, so a traffic burst queues
+// instead of spawning unbounded concurrent compilations, and a full
+// queue rejects immediately — backpressure the caller can see.
+type pool struct {
+	jobs     chan job
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type job struct {
+	run  func()
+	done chan struct{}
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan job, depth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.inflight.Add(1)
+		j.run()
+		p.inflight.Add(-1)
+		close(j.done)
+	}
+}
+
+// Do submits f and waits for it to finish. It fails fast with ErrBusy
+// when the queue is full and ErrClosed when the pool is draining. A
+// cancelled ctx abandons the wait (the job itself still runs to
+// completion; the caller must not read its results after an error).
+func (p *pool) Do(ctx context.Context, f func()) error {
+	j := job{run: f, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrBusy
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of queued (not yet started) jobs.
+func (p *pool) QueueDepth() int { return len(p.jobs) }
+
+// Inflight returns the number of jobs currently executing.
+func (p *pool) Inflight() int { return int(p.inflight.Load()) }
+
+// Close drains the pool gracefully: new submissions fail with ErrClosed,
+// queued and in-flight jobs run to completion, and Close returns once the
+// workers have exited. Idempotent.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

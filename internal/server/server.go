@@ -1,0 +1,406 @@
+// Package server is the compile service: scheduling-as-a-service over
+// the schedfilter facade. It exposes the compile → filter → schedule →
+// execute pipeline as an HTTP/JSON API, runs every compilation on a
+// bounded worker pool (full queue → 429, shutdown → 503), shares one
+// content-addressed scheduled-block cache across all requests, and
+// reports per-endpoint counters and latencies plus cache and pool gauges
+// at /metrics (Prometheus text format) and profiles at /debug/pprof.
+//
+// Endpoints:
+//
+//	POST /v1/compile   Jolt source (or bundled workload) → machine code
+//	POST /v1/schedule  compile + filter-gated scheduling through the cache
+//	POST /v1/predict   filter decisions only (features + rules, no scheduling)
+//	POST /v1/execute   compile + schedule + cycle-timed simulation
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness + configured filter/model
+//	GET  /debug/pprof  Go profiling endpoints
+//
+// The daemon wrapper is cmd/schedserved; the client and load generator
+// are cmd/schedctl.
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"schedfilter"
+)
+
+// maxBody bounds request bodies (source text is small; listings are the
+// big direction, and those are responses).
+const maxBody = 8 << 20
+
+// Config parameterizes the service.
+type Config struct {
+	// Model is the machine timing model; nil selects the MPC7410.
+	Model *schedfilter.Machine
+	// Filter is the default scheduling filter for requests that don't
+	// select one; nil selects LS (always schedule).
+	Filter schedfilter.Filter
+	// Workers sizes the compile worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 selects 4×Workers.
+	// Submissions beyond Workers+QueueDepth are rejected with 429.
+	QueueDepth int
+	// CacheWeight bounds the scheduled-block cache in words; 0 selects
+	// a default sized for sustained traffic.
+	CacheWeight int
+	// JIT configures compilation; the zero value selects the defaults.
+	JIT schedfilter.JITOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == nil {
+		c.Model = schedfilter.NewMachine()
+	}
+	if c.Filter == nil {
+		c.Filter = schedfilter.AlwaysSchedule
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheWeight <= 0 {
+		c.CacheWeight = 1 << 20
+	}
+	if c.JIT == (schedfilter.JITOptions{}) {
+		c.JIT = schedfilter.DefaultJITOptions()
+	}
+	return c
+}
+
+// Server is one compile-service instance. Create with New, serve its
+// Handler, and Close it to drain in-flight compilations on shutdown.
+type Server struct {
+	cfg     Config
+	cache   *schedfilter.ScheduleCache
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server. The worker pool starts immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   schedfilter.NewScheduleCache(cfg.CacheWeight),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics("compile", "schedule", "predict", "execute"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.endpoint("compile", s.doCompile))
+	mux.HandleFunc("POST /v1/schedule", s.endpoint("schedule", s.doSchedule))
+	mux.HandleFunc("POST /v1/predict", s.endpoint("predict", s.doPredict))
+	mux.HandleFunc("POST /v1/execute", s.endpoint("execute", s.doExecute))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the scheduled-block cache (for stats and tests).
+func (s *Server) Cache() *schedfilter.ScheduleCache { return s.cache }
+
+// Close drains the worker pool: queued and in-flight compilations finish,
+// new submissions are rejected with 503. Call after the HTTP listener has
+// stopped accepting (http.Server.Shutdown) for a fully graceful stop.
+func (s *Server) Close() { s.pool.Close() }
+
+// endpoint wraps one compiler endpoint: read the body on the connection
+// goroutine, run work on the bounded pool, encode the response, record
+// metrics. work returns the response value or a client-fault error (400).
+func (s *Server) endpoint(name string, work func(body []byte) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep := s.metrics.endpoint(name)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		var resp any
+		var workErr error
+		err = s.pool.Do(r.Context(), func() { resp, workErr = work(body) })
+		switch {
+		case errors.Is(err, ErrBusy):
+			w.Header().Set("Retry-After", "1")
+			s.reply(w, ep, start, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+		case errors.Is(err, ErrClosed):
+			s.reply(w, ep, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		case err != nil:
+			// Client went away mid-job; the write below is best-effort.
+			s.reply(w, ep, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		case workErr != nil:
+			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: workErr.Error()})
+		default:
+			s.reply(w, ep, start, http.StatusOK, resp)
+		}
+	}
+}
+
+func (s *Server) reply(w http.ResponseWriter, ep *epStats, start time.Time, status int, v any) {
+	ep.record(status, time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // connection-level failure; nothing left to do
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, s.metrics.render(s))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(HealthResponse{
+		Status: "ok",
+		Filter: s.cfg.Filter.Name(),
+		Model:  s.cfg.Model.Name,
+	})
+}
+
+// compileInput compiles a request's program (inline source or bundled
+// workload) to unscheduled machine code.
+func (s *Server) compileInput(in ProgramInput) (*schedfilter.Program, time.Duration, error) {
+	start := time.Now()
+	var mod *schedfilter.Module
+	var err error
+	switch {
+	case in.Source != "" && in.Workload != "":
+		return nil, 0, fmt.Errorf("source and workload are mutually exclusive")
+	case in.Source != "":
+		mod, err = schedfilter.CompileJolt(in.Source)
+	case in.Workload != "":
+		var w *schedfilter.Workload
+		if w, err = schedfilter.WorkloadByName(in.Workload); err == nil {
+			mod, err = w.Compile()
+		}
+	default:
+		return nil, 0, fmt.Errorf("request needs source or workload")
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := schedfilter.CompileModule(mod, s.cfg.JIT)
+	if err != nil {
+		return nil, 0, err
+	}
+	return prog, time.Since(start), nil
+}
+
+// resolveFilter picks the request's scheduling filter.
+func (s *Server) resolveFilter(spec FilterSpec) (schedfilter.Filter, error) {
+	if spec.Model != "" {
+		return schedfilter.ParseFilter(spec.Model)
+	}
+	name := strings.TrimSpace(spec.Filter)
+	switch {
+	case name == "" || strings.EqualFold(name, "default"):
+		return s.cfg.Filter, nil
+	case strings.EqualFold(name, "LS"), strings.EqualFold(name, "always"):
+		return schedfilter.AlwaysSchedule, nil
+	case strings.EqualFold(name, "NS"), strings.EqualFold(name, "never"):
+		return schedfilter.NeverSchedule, nil
+	case strings.HasPrefix(name, "size:"):
+		n, err := strconv.Atoi(name[len("size:"):])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad size filter %q (want size:N)", name)
+		}
+		return schedfilter.SizeFilter(n), nil
+	default:
+		return nil, fmt.Errorf("unknown filter %q (want default, LS, NS, or size:N)", name)
+	}
+}
+
+func (s *Server) doCompile(body []byte) (any, error) {
+	var req CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
+	prog, compileT, err := s.compileInput(req.ProgramInput)
+	if err != nil {
+		return nil, err
+	}
+	resp := CompileResponse{
+		Fns:       len(prog.Fns),
+		Blocks:    prog.NumBlocks(),
+		Instrs:    prog.NumInstrs(),
+		CompileNs: compileT.Nanoseconds(),
+	}
+	if req.Listing {
+		resp.Listing = prog.String()
+	}
+	return resp, nil
+}
+
+// schedulePass runs the filter-gated scheduling pass for a request and
+// feeds the pass totals into the server metrics.
+func (s *Server) schedulePass(prog *schedfilter.Program, f schedfilter.Filter, noCache bool) schedfilter.ScheduleStats {
+	cache := s.cache
+	if noCache {
+		cache = nil
+	}
+	st := schedfilter.ScheduleWithCache(s.cfg.Model, prog, f, cache)
+	runs := st.CacheMisses
+	if noCache {
+		runs = st.Scheduled
+	}
+	s.metrics.blocksSeen.Add(int64(st.Blocks))
+	s.metrics.blocksScheduled.Add(int64(st.Scheduled))
+	s.metrics.schedulerRuns.Add(int64(runs))
+	s.metrics.cacheHits.Add(int64(st.CacheHits))
+	s.metrics.schedNs.Add(st.SchedTime.Nanoseconds())
+	return st
+}
+
+func (s *Server) doSchedule(body []byte) (any, error) {
+	var req ScheduleRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
+	f, err := s.resolveFilter(req.FilterSpec)
+	if err != nil {
+		return nil, err
+	}
+	prog, compileT, err := s.compileInput(req.ProgramInput)
+	if err != nil {
+		return nil, err
+	}
+	st := s.schedulePass(prog, f, req.NoCache)
+	key := schedfilter.FingerprintProgram(s.cfg.Model, f.Name(), prog)
+	return ScheduleResponse{
+		Filter:       f.Name(),
+		Blocks:       st.Blocks,
+		Scheduled:    st.Scheduled,
+		NotScheduled: st.NotScheduled,
+		Changed:      st.Changed,
+		CacheHits:    st.CacheHits,
+		CacheMisses:  st.CacheMisses,
+		CostBefore:   st.CostBefore,
+		CostAfter:    st.CostAfter,
+		CompileNs:    compileT.Nanoseconds(),
+		SchedNs:      st.SchedTime.Nanoseconds(),
+		ProgramKey:   hex.EncodeToString(key[:]),
+	}, nil
+}
+
+func (s *Server) doPredict(body []byte) (any, error) {
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
+	f, err := s.resolveFilter(req.FilterSpec)
+	if err != nil {
+		return nil, err
+	}
+	prog, _, err := s.compileInput(req.ProgramInput)
+	if err != nil {
+		return nil, err
+	}
+	resp := PredictResponse{Filter: f.Name()}
+	for _, fn := range prog.Fns {
+		for _, b := range fn.Blocks {
+			v := schedfilter.ExtractFeatures(b)
+			yes := f.ShouldSchedule(v)
+			resp.Blocks++
+			if yes {
+				resp.WouldSchedule++
+			}
+			if req.Detail {
+				resp.Decisions = append(resp.Decisions, BlockDecision{
+					Fn:       fn.Name,
+					Block:    b.ID,
+					BBLen:    b.Len(),
+					Schedule: yes,
+				})
+			}
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) doExecute(body []byte) (any, error) {
+	var req ExecuteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
+	f, err := s.resolveFilter(req.FilterSpec)
+	if err != nil {
+		return nil, err
+	}
+	prog, compileT, err := s.compileInput(req.ProgramInput)
+	if err != nil {
+		return nil, err
+	}
+	st := s.schedulePass(prog, f, false)
+	simStart := time.Now()
+	res, err := schedfilter.Execute(prog, s.cfg.Model, !req.Untimed)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteResponse{
+		Filter:      f.Name(),
+		Ret:         res.Ret,
+		Cycles:      res.Cycles,
+		DynInstrs:   res.DynInstrs,
+		Output:      res.Output,
+		Scheduled:   st.Scheduled,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		CompileNs:   compileT.Nanoseconds(),
+		SchedNs:     st.SchedTime.Nanoseconds(),
+		SimNs:       time.Since(simStart).Nanoseconds(),
+	}, nil
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// shuts down gracefully: the listener stops, in-flight requests drain
+// (bounded by drainTimeout), and the worker pool closes. It is the
+// daemon main's whole lifecycle in one call.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

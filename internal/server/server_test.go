@@ -1,0 +1,399 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testSource = `
+func work(n int) int {
+  var s int = 0;
+  for (var i int = 0; i < n; i = i + 1) { s = s + i * 3 - (i / 2); }
+  return s;
+}
+func main() int {
+  return work(64) + work(32);
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post[T any](t *testing.T, url string, body any) (int, T) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// scrape fetches /metrics and returns the value of one (possibly
+// labelled) series.
+func scrape(t *testing.T, base, metric string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(metric) + ` (-?\d+)$`)
+	m := re.FindStringSubmatch(buf.String())
+	if m == nil {
+		t.Fatalf("metric %q not found in:\n%s", metric, buf.String())
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, resp := post[CompileResponse](t, ts.URL+"/v1/compile", CompileRequest{
+		ProgramInput: ProgramInput{Source: testSource},
+		Listing:      true,
+	})
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Fns == 0 || resp.Blocks == 0 || resp.Instrs == 0 {
+		t.Fatalf("empty compile response: %+v", resp)
+	}
+	if !strings.Contains(resp.Listing, "fn main") {
+		t.Fatalf("listing missing main:\n%s", resp.Listing)
+	}
+}
+
+// The acceptance property: a second identical schedule request is served
+// entirely from the cache — the list scheduler does not run again, and
+// the /metrics counters prove it.
+func TestScheduleSecondRequestFullyCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}}
+
+	code, first := post[ScheduleResponse](t, ts.URL+"/v1/schedule", req)
+	if code != 200 {
+		t.Fatalf("first schedule: status %d", code)
+	}
+	if first.Scheduled == 0 || first.CacheMisses == 0 {
+		t.Fatalf("cold request did no work: %+v", first)
+	}
+	runsAfterFirst := scrape(t, ts.URL, "schedserved_scheduler_runs_total")
+
+	code, second := post[ScheduleResponse](t, ts.URL+"/v1/schedule", req)
+	if code != 200 {
+		t.Fatalf("second schedule: status %d", code)
+	}
+	if second.CacheMisses != 0 {
+		t.Fatalf("second identical request re-ran the scheduler %d times: %+v", second.CacheMisses, second)
+	}
+	if second.CacheHits != second.Scheduled {
+		t.Fatalf("second request not fully cached: %+v", second)
+	}
+	if second.ProgramKey != first.ProgramKey {
+		t.Fatal("identical requests produced different program fingerprints")
+	}
+	if second.CostAfter != first.CostAfter || second.Changed != first.Changed {
+		t.Fatalf("replayed schedule drifted: first %+v second %+v", first, second)
+	}
+	if runs := scrape(t, ts.URL, "schedserved_scheduler_runs_total"); runs != runsAfterFirst {
+		t.Fatalf("scheduler_runs_total advanced %d -> %d on a cached request", runsAfterFirst, runs)
+	}
+	if hits := scrape(t, ts.URL, "schedserved_sched_cache_hits_total"); hits < int64(second.CacheHits) {
+		t.Fatalf("cache hit counter %d below request hits %d", hits, second.CacheHits)
+	}
+}
+
+func TestScheduleNoCacheBypasses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}, NoCache: true}
+	post[ScheduleResponse](t, ts.URL+"/v1/schedule", req)
+	code, second := post[ScheduleResponse](t, ts.URL+"/v1/schedule", req)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if second.CacheHits != 0 || second.CacheMisses != 0 {
+		t.Fatalf("no_cache request touched the cache: %+v", second)
+	}
+}
+
+func TestScheduleWorkloadAndFilters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, filter := range []string{"LS", "NS", "size:10"} {
+		code, resp := post[ScheduleResponse](t, ts.URL+"/v1/schedule", ScheduleRequest{
+			ProgramInput: ProgramInput{Workload: "compress"},
+			FilterSpec:   FilterSpec{Filter: filter},
+		})
+		if code != 200 {
+			t.Fatalf("filter %s: status %d", filter, code)
+		}
+		if filter == "NS" && resp.Scheduled != 0 {
+			t.Fatalf("NS scheduled %d blocks", resp.Scheduled)
+		}
+		if filter == "LS" && resp.Scheduled != resp.Blocks {
+			t.Fatalf("LS skipped blocks: %+v", resp)
+		}
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, resp := post[PredictResponse](t, ts.URL+"/v1/predict", PredictRequest{
+		ProgramInput: ProgramInput{Source: testSource},
+		FilterSpec:   FilterSpec{Filter: "size:5"},
+		Detail:       true,
+	})
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Blocks == 0 || len(resp.Decisions) != resp.Blocks {
+		t.Fatalf("bad predict response: %+v", resp)
+	}
+	yes := 0
+	for _, d := range resp.Decisions {
+		if d.Schedule {
+			yes++
+			if d.BBLen < 5 {
+				t.Fatalf("size:5 approved a %d-instruction block", d.BBLen)
+			}
+		}
+	}
+	if yes != resp.WouldSchedule {
+		t.Fatalf("decision list disagrees with aggregate: %d vs %d", yes, resp.WouldSchedule)
+	}
+}
+
+func TestExecuteEndpointDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := ExecuteRequest{ProgramInput: ProgramInput{Source: testSource}}
+	code, first := post[ExecuteResponse](t, ts.URL+"/v1/execute", req)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if first.Cycles == 0 || first.DynInstrs == 0 {
+		t.Fatalf("untimed or empty run: %+v", first)
+	}
+	_, second := post[ExecuteResponse](t, ts.URL+"/v1/execute", req)
+	if second.Ret != first.Ret || second.Cycles != first.Cycles {
+		t.Fatalf("execute not deterministic: %+v vs %+v", first, second)
+	}
+	if second.CacheMisses != 0 {
+		t.Fatalf("second execute re-ran the scheduler: %+v", second)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  ScheduleRequest
+	}{
+		{"empty", ScheduleRequest{}},
+		{"both inputs", ScheduleRequest{ProgramInput: ProgramInput{Source: "x", Workload: "compress"}}},
+		{"bad source", ScheduleRequest{ProgramInput: ProgramInput{Source: "func ("}}},
+		{"unknown workload", ScheduleRequest{ProgramInput: ProgramInput{Workload: "nope"}}},
+		{"unknown filter", ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}, FilterSpec: FilterSpec{Filter: "wat"}}},
+		{"bad size", ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}, FilterSpec: FilterSpec{Filter: "size:x"}}},
+	}
+	for _, c := range cases {
+		code, resp := post[ErrorResponse](t, ts.URL+"/v1/schedule", c.req)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+		if resp.Error == "" {
+			t.Errorf("%s: empty error body", c.name)
+		}
+	}
+}
+
+func TestInlineModelFilter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	model := "# filter: L/N inline\n# labels: list orig\n(    1/   0) list :- bbLen >= 6.\n(    1/   0) orig :- .\n"
+	code, resp := post[PredictResponse](t, ts.URL+"/v1/predict", PredictRequest{
+		ProgramInput: ProgramInput{Source: testSource},
+		FilterSpec:   FilterSpec{Model: model},
+	})
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Filter != "L/N inline" {
+		t.Fatalf("filter label = %q", resp.Filter)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Model == "" || h.Filter == "" {
+		t.Fatalf("bad health: %+v", h)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on compile endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Backpressure: with the single worker blocked and the queue full, a new
+// request must be rejected immediately with 429, and the rejection must
+// show up in the endpoint counters.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one running, one queued
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.pool.Do(context.Background(), func() { <-gate })
+		}()
+	}
+	waitFor(t, func() bool { return s.pool.Inflight() == 1 && s.pool.QueueDepth() == 1 })
+
+	code, resp := post[ErrorResponse](t, ts.URL+"/v1/schedule", ScheduleRequest{
+		ProgramInput: ProgramInput{Source: testSource},
+	})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	if resp.Error == "" {
+		t.Fatal("429 without an error body")
+	}
+	close(gate)
+	wg.Wait()
+	if rejected := scrape(t, ts.URL, `schedserved_requests_total{endpoint="schedule",outcome="rejected"}`); rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rejected)
+	}
+}
+
+// Graceful shutdown: Close must let queued and in-flight work finish, and
+// later submissions must fail with ErrClosed (503 at the HTTP layer).
+func TestCloseDrainsInflight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	var done [3]bool
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < len(done); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = s.pool.Do(context.Background(), func() {
+				<-gate
+				done[i] = true
+			})
+		}(i)
+	}
+	waitFor(t, func() bool { return s.pool.Inflight()+s.pool.QueueDepth() == len(done) })
+	close(gate)
+	s.Close()
+	wg.Wait()
+	for i, d := range done {
+		if !d {
+			t.Fatalf("job %d dropped during drain", i)
+		}
+	}
+	if err := s.pool.Do(context.Background(), func() {}); err != ErrClosed {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+}
+
+// Concurrent mixed traffic under -race: many clients, several endpoints,
+// one shared cache.
+func TestConcurrentTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				var code int
+				switch (c + i) % 3 {
+				case 0:
+					code, _ = post[ScheduleResponse](t, ts.URL+"/v1/schedule",
+						ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}})
+				case 1:
+					code, _ = post[PredictResponse](t, ts.URL+"/v1/predict",
+						PredictRequest{ProgramInput: ProgramInput{Source: testSource}})
+				default:
+					code, _ = post[CompileResponse](t, ts.URL+"/v1/compile",
+						CompileRequest{ProgramInput: ProgramInput{Source: testSource}})
+				}
+				if code != 200 {
+					errs <- fmt.Errorf("client %d req %d: status %d", c, i, code)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The shared cache converged: schedule requests after the first are
+	// pure replays.
+	if hits := scrape(t, ts.URL, "codecache_hits_total"); hits == 0 {
+		t.Fatal("no cache hits under repeated concurrent traffic")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

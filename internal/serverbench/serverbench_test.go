@@ -1,0 +1,83 @@
+package serverbench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedfilter/internal/server"
+)
+
+// A small fast configuration: two workloads, LS filter, few requests.
+func testConfig() Config {
+	return Config{
+		Workloads:   []string{"compress", "db"},
+		Requests:    6,
+		Concurrency: 3,
+		Filter:      "LS",
+		Server:      server.Config{Workers: 2},
+	}
+}
+
+func TestRunWarmPhaseFullyCached(t *testing.T) {
+	res, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Scheduled == 0 {
+			t.Errorf("%s: no blocks scheduled under LS", row.Workload)
+		}
+		// Duplicate blocks hit the cache within the cold pass itself, so
+		// cold misses equal the number of distinct scheduled blocks.
+		if row.ColdMisses == 0 || row.ColdMisses > row.Scheduled {
+			t.Errorf("%s: cold misses = %d, want in (0, %d]",
+				row.Workload, row.ColdMisses, row.Scheduled)
+		}
+		if row.WarmMisses != 0 {
+			t.Errorf("%s: warm misses = %d, want 0", row.Workload, row.WarmMisses)
+		}
+		if row.SchedulerRuns != 0 {
+			t.Errorf("%s: %d scheduler runs in warm phase, want 0 (metrics counter)",
+				row.Workload, row.SchedulerRuns)
+		}
+		wantHits := int64(row.Scheduled * row.WarmReqs)
+		if row.WarmHits != wantHits {
+			t.Errorf("%s: warm hits = %d, want %d", row.Workload, row.WarmHits, wantHits)
+		}
+	}
+	if res.WarmHitRate != 1.0 {
+		t.Errorf("aggregate warm hit rate = %v, want 1.0", res.WarmHitRate)
+	}
+}
+
+func TestRenderAndWriteJSON(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workloads = []string{"compress"}
+	cfg.Requests = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"compress", "hit-rate", "Warm phase:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workloads = []string{"no-such-bench"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}

@@ -39,9 +39,12 @@ package schedfilter
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"schedfilter/internal/adaptive"
 	"schedfilter/internal/bytecode"
+	"schedfilter/internal/codecache"
 	"schedfilter/internal/core"
 	"schedfilter/internal/experiments"
 	"schedfilter/internal/features"
@@ -115,6 +118,13 @@ type (
 	ProfileSnapshot = sim.Snapshot
 	// FnSwap is a safe-point function replacement request.
 	FnSwap = sim.FnSwap
+	// ScheduleCache is the sharded content-addressed scheduled-block
+	// cache the compile service runs on.
+	ScheduleCache = codecache.Cache
+	// CacheStats is a snapshot of a ScheduleCache's counters.
+	CacheStats = codecache.Stats
+	// CacheKey is a 256-bit content fingerprint of a block or program.
+	CacheKey = codecache.Key
 )
 
 // Fixed protocols (the paper's baselines).
@@ -186,6 +196,36 @@ func Schedule(m *Machine, p *Program, f Filter) ScheduleStats {
 	return core.ApplyFilter(m, p, f)
 }
 
+// NewScheduleCache returns a content-addressed scheduled-block cache
+// bounded to approximately maxWeight words (Σ over entries of
+// 1+len(order)); maxWeight <= 0 selects a default. Safe for concurrent
+// use; share one cache across every ScheduleWithCache call.
+func NewScheduleCache(maxWeight int) *ScheduleCache { return codecache.New(maxWeight) }
+
+// ScheduleWithCache is Schedule backed by a content-addressed cache:
+// blocks whose instruction content has been scheduled before (on the same
+// machine model, in any program) replay the cached order instead of
+// re-running the list scheduler. The returned stats split Scheduled into
+// CacheHits and CacheMisses.
+func ScheduleWithCache(m *Machine, p *Program, f Filter, c *ScheduleCache) ScheduleStats {
+	return core.ApplyFilterCached(m, p, f, c)
+}
+
+// FingerprintBlock returns the content fingerprint under which a block's
+// scheduling result is cached: a hash of its instruction stream and the
+// machine model name.
+func FingerprintBlock(m *Machine, b *Block) CacheKey {
+	return codecache.BlockKey(m.Name, b.Instrs)
+}
+
+// FingerprintProgram returns a whole-program content fingerprint (every
+// function's every block, plus the model name and a caller-chosen context
+// label such as the filter name). The compile service uses it to
+// recognize identical compile inputs across requests.
+func FingerprintProgram(m *Machine, context string, p *Program) CacheKey {
+	return codecache.ProgramKey(m.Name, context, p)
+}
+
 // NewRuleFilter wraps a Ripper rule set as a filter.
 func NewRuleFilter(rs *RuleSet, label string) *InducedFilter {
 	return core.NewInduced(rs, label)
@@ -200,6 +240,53 @@ func ParseRuleSet(text string) (*RuleSet, error) {
 // SizeFilter returns the hand-written baseline filter that schedules
 // blocks of at least minLen instructions.
 func SizeFilter(minLen int) Filter { return core.SizeThreshold{MinLen: minLen} }
+
+// filterHeader marks the label line of a persisted model file.
+const filterHeader = "# filter:"
+
+// FormatFilter renders an induced filter as persistent model text: a
+// "# filter: <label>" header plus the rule set in the round-trippable
+// full-precision format. ParseFilter inverts it exactly.
+func FormatFilter(f *InducedFilter) string {
+	return fmt.Sprintf("%s %s\n%s", filterHeader, f.Label, f.Rules.Format())
+}
+
+// ParseFilter reads model text produced by FormatFilter (or any rule text
+// in the Figure-4 format; the label header is optional). Attribute names
+// resolve against the Table-1 feature names.
+func ParseFilter(text string) (*InducedFilter, error) {
+	label := ""
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), filterHeader); ok {
+			label = strings.TrimSpace(rest)
+			break
+		}
+	}
+	rs, err := ripper.Parse(text, FeatureNames)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInduced(rs, label), nil
+}
+
+// SaveFilter writes the induced filter to path as model text — the file
+// the compile-server daemon (cmd/schedserved) boots from.
+func SaveFilter(path string, f *InducedFilter) error {
+	return os.WriteFile(path, []byte(FormatFilter(f)), 0o644)
+}
+
+// LoadFilter reads a model file written by SaveFilter (or schedtrain -o).
+func LoadFilter(path string) (*InducedFilter, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ParseFilter(string(buf))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
 
 // Workloads returns all bundled benchmark programs (suite 1 then suite 2).
 func Workloads() []Workload { return workloads.All() }

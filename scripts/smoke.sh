@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke test for the compile server: build the daemon and client, boot
+# the daemon, fire two identical schedule requests, and assert that the
+# second is served entirely from the scheduled-block cache (no list-
+# scheduler runs), cross-checked against the /metrics counters.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${SMOKE_PORT:-18923}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+SERVED_PID=""
+
+cleanup() {
+  if [ -n "$SERVED_PID" ] && kill -0 "$SERVED_PID" 2>/dev/null; then
+    kill -TERM "$SERVED_PID" 2>/dev/null || true
+    wait "$SERVED_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building schedserved + schedctl"
+go build -o "$TMP/schedserved" ./cmd/schedserved
+go build -o "$TMP/schedctl" ./cmd/schedctl
+
+echo "smoke: starting schedserved on $ADDR"
+"$TMP/schedserved" -addr "$ADDR" 2>"$TMP/served.log" &
+SERVED_PID=$!
+
+for i in $(seq 1 50); do
+  if "$TMP/schedctl" -addr "$BASE" health >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVED_PID" 2>/dev/null || { cat "$TMP/served.log" >&2; fail "daemon died"; }
+  sleep 0.2
+  [ "$i" = 50 ] && fail "daemon did not become healthy"
+done
+
+echo "smoke: first schedule request (cold cache)"
+"$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS >"$TMP/r1.json"
+grep -q '"cache_misses": [1-9]' "$TMP/r1.json" \
+  || fail "first request reported no cache misses: $(cat "$TMP/r1.json")"
+
+echo "smoke: second identical request (must be fully cached)"
+"$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS >"$TMP/r2.json"
+grep -q '"cache_misses": 0' "$TMP/r2.json" \
+  || fail "second request was not fully cached: $(cat "$TMP/r2.json")"
+grep -q '"cache_hits": 0' "$TMP/r2.json" \
+  && fail "second request reported zero cache hits: $(cat "$TMP/r2.json")"
+
+key1=$(grep -o '"program_key": "[0-9a-f]*"' "$TMP/r1.json")
+key2=$(grep -o '"program_key": "[0-9a-f]*"' "$TMP/r2.json")
+[ -n "$key1" ] && [ "$key1" = "$key2" ] \
+  || fail "program fingerprints differ between identical requests: $key1 vs $key2"
+
+echo "smoke: checking /metrics counters"
+"$TMP/schedctl" -addr "$BASE" metrics >"$TMP/m1.txt"
+runs1=$(awk '/^schedserved_scheduler_runs_total /{print $2}' "$TMP/m1.txt")
+[ -n "$runs1" ] || fail "scheduler_runs_total missing from /metrics"
+
+"$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS >/dev/null
+"$TMP/schedctl" -addr "$BASE" metrics >"$TMP/m2.txt"
+runs2=$(awk '/^schedserved_scheduler_runs_total /{print $2}' "$TMP/m2.txt")
+[ "$runs1" = "$runs2" ] \
+  || fail "scheduler ran on a warm request (runs $runs1 -> $runs2)"
+grep -q '^codecache_hits_total [1-9]' "$TMP/m2.txt" \
+  || fail "codecache_hits_total not positive"
+
+echo "smoke: graceful shutdown"
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID" 2>/dev/null || true
+grep -q 'drained, bye' "$TMP/served.log" || fail "daemon did not drain cleanly"
+SERVED_PID=""
+
+echo "smoke: OK (second identical request served from cache, scheduler runs flat at $runs2)"
