@@ -175,6 +175,44 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// --- Serial vs parallel experiment engine ---
+
+// sweepOnce runs the main table sweep (3+4+6) on a fresh runner with the
+// given worker count — cold caches every iteration, so serial and parallel
+// benchmarks measure the same total work.
+func sweepOnce(b *testing.B, jobs int) {
+	b.Helper()
+	cfg := experiments.DefaultConfig()
+	cfg.Jobs = jobs
+	r := experiments.NewRunner(cfg)
+	if _, err := r.Table3(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Table4(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Table6(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepSerial measures the full leave-one-out table sweep on the
+// serial engine (-j 1).
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, 1)
+	}
+}
+
+// BenchmarkSweepParallel measures the same sweep fanned across GOMAXPROCS
+// workers; compare against BenchmarkSweepSerial with benchstat (see
+// docs/perf.md — on a single-CPU host the two are equal by construction).
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, 0)
+	}
+}
+
 // --- Micro-benchmarks of the core components ---
 
 // BenchmarkFeatureExtraction measures the single-pass Table-1 feature

@@ -13,7 +13,16 @@
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server all
+//	sbfilter adaptive server pipeline all
+//
+// -j N bounds the experiment engine's worker pool (default: GOMAXPROCS).
+// Every table and figure is byte-identical at any -j; wall-clock
+// measurements (scheduling-time figures, the adaptive runs) always stay
+// serial. -j 1 forces the fully serial engine.
+//
+// The pipeline experiment measures the engine itself: the main table sweep
+// serial vs parallel, plus scheduler allocations per block before/after
+// the pooled fast path, written to BENCH_pipeline.json with -json.
 //
 // The -adaptive flag is shorthand for -exp adaptive: run every benchmark
 // through the adaptive optimization system (baseline tier, sampling
@@ -45,14 +54,17 @@ func main() {
 	adaptiveMode := flag.Bool("adaptive", false, "run the adaptive-tier comparison (shorthand for -exp adaptive)")
 	jsonOut := flag.Bool("json", false, "also write the step's benchmark numbers as a JSON artifact")
 	outPath := flag.String("out", "", "JSON artifact path (default BENCH_adaptive.json / BENCH_server.json per step)")
+	jobs := flag.Int("j", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if *adaptiveMode {
 		*exp = "adaptive"
 	}
 
-	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
+	cfg := schedfilter.DefaultExperimentConfig()
+	cfg.Jobs = *jobs
+	r := schedfilter.NewExperimentRunner(cfg)
 	start := time.Now()
-	if err := run(r, *exp, *jsonOut, *outPath); err != nil {
+	if err := run(r, cfg, *jobs, *exp, *jsonOut, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "schedexp:", err)
 		os.Exit(1)
 	}
@@ -76,7 +88,7 @@ func writeArtifact(enabled bool, outPath, defaultPath string, v any) error {
 	return nil
 }
 
-func run(r *experiments.Runner, exp string, jsonOut bool, outPath string) error {
+func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, jsonOut bool, outPath string) error {
 	all := exp == "all"
 	did := false
 	show := func(name string, f func() error) error {
@@ -197,7 +209,7 @@ func run(r *experiments.Runner, exp string, jsonOut bool, outPath string) error 
 			return nil
 		}},
 		{"models", func() error {
-			res, err := experiments.CompareModels(schedfilter.DefaultExperimentConfig(),
+			res, err := experiments.CompareModels(cfg,
 				[]*machine.Model{machine.NewMPC7410(), machine.NewScalar603()})
 			if err != nil {
 				return err
@@ -242,6 +254,20 @@ func run(r *experiments.Runner, exp string, jsonOut bool, outPath string) error 
 	}
 	for _, s := range steps {
 		if err := show(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	// The pipeline experiment re-runs the whole table sweep twice (serial
+	// and parallel) on cold caches, so it only runs when asked for by name
+	// — never as part of "all".
+	if exp == "pipeline" {
+		did = true
+		res, err := experiments.RunPipeline(cfg, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_pipeline.json", res); err != nil {
 			return err
 		}
 	}

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	schedtrain [-suite 1|2|all] [-t 20] [-loo benchmark] [-o rules.txt]
-//	           [-csv instances.csv] [-stats]
+//	           [-csv instances.csv] [-stats] [-j N]
+//
+// -j N fans the per-benchmark collection (compile, profile, schedule
+// experimentally) across N workers; 0 means GOMAXPROCS, 1 forces the
+// serial path. The collected data — and everything induced from it — is
+// identical at every -j.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	out := flag.String("o", "", "write the rule set to this file instead of stdout")
 	csvPath := flag.String("csv", "", "also dump the raw instances as CSV to this file")
 	stats := flag.Bool("stats", true, "print training-set statistics")
+	jobs := flag.Int("j", 0, "workers for data collection (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var ws []workloads.Workload
@@ -42,13 +48,9 @@ func main() {
 	}
 
 	m := schedfilter.NewMachine()
-	var data []*schedfilter.BenchData
-	for i := range ws {
-		bd, err := schedfilter.CollectTrainingData(&ws[i], m, schedfilter.DefaultCompileOptions())
-		if err != nil {
-			fatal(err)
-		}
-		data = append(data, bd)
+	data, err := schedfilter.CollectAllTrainingData(ws, m, schedfilter.DefaultCompileOptions(), *jobs)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *csvPath != "" {

@@ -56,9 +56,11 @@ func ApplyFilter(m *machine.Model, p *ir.Program, f Filter) Stats {
 func ApplyFilterCached(m *machine.Model, p *ir.Program, f Filter, c *codecache.Cache) Stats {
 	var st Stats
 	start := time.Now()
+	s := sched.GetScratch()
 	for _, fn := range p.Fns {
-		applyFnBlocks(m, fn, f, c, &st)
+		applyFnBlocks(m, fn, f, c, s, &st)
 	}
+	sched.PutScratch(s)
 	st.SchedTime = time.Since(start)
 	return st
 }
@@ -69,12 +71,14 @@ func ApplyFilterCached(m *machine.Model, p *ir.Program, f Filter, c *codecache.C
 func ApplyFilterFn(m *machine.Model, fn *ir.Fn, f Filter) Stats {
 	var st Stats
 	start := time.Now()
-	applyFnBlocks(m, fn, f, nil, &st)
+	s := sched.GetScratch()
+	applyFnBlocks(m, fn, f, nil, s, &st)
+	sched.PutScratch(s)
 	st.SchedTime = time.Since(start)
 	return st
 }
 
-func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, c *codecache.Cache, st *Stats) {
+func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, c *codecache.Cache, s *sched.Scratch, st *Stats) {
 	_, always := f.(Always)
 	_, never := f.(Never)
 	for _, b := range fn.Blocks {
@@ -91,7 +95,7 @@ func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, c *codecache.Cache, st
 			}
 		}
 		st.Scheduled++
-		res, hit := sched.ScheduleBlockCached(m, b, c)
+		res, hit := sched.ScheduleBlockCachedScratch(m, b, c, s)
 		if c != nil {
 			if hit {
 				st.CacheHits++

@@ -6,6 +6,7 @@ import (
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/features"
+	"schedfilter/internal/par"
 	"schedfilter/internal/training"
 	"schedfilter/internal/workloads"
 )
@@ -67,21 +68,34 @@ func (r *Runner) Ablation() (*AblationResult, error) {
 		return nil, err
 	}
 
-	// Baseline LS/NS app times.
+	// Prefetch the deterministic inputs in parallel: the induced t=0
+	// filters and the baseline app times. The wall-clock SchedTime
+	// measurements below stay serial so concurrent passes cannot distort
+	// each other's timings.
 	nsCycles := make([]int64, len(data))
 	lsCycles := make([]int64, len(data))
 	lsTimes := make([]float64, len(data))
 	lsRel := make([]float64, len(data))
-	for i, bd := range data {
+	if err := par.DoErr(r.cfg.Jobs, len(data), func(i int) error {
+		bd := data[i]
+		var err error
+		if _, err = r.Filter(workloads.SuiteJVM98, bd.Name, 0); err != nil {
+			return err
+		}
 		if nsCycles[i], err = r.AppTime(bd, core.Never{}); err != nil {
-			return nil, err
+			return err
 		}
 		if lsCycles[i], err = r.AppTime(bd, core.Always{}); err != nil {
-			return nil, err
+			return err
 		}
+		lsRel[i] = float64(lsCycles[i]) / float64(nsCycles[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, bd := range data {
 		t, _ := r.SchedTime(bd, core.Always{})
 		lsTimes[i] = float64(t)
-		lsRel[i] = float64(lsCycles[i]) / float64(nsCycles[i])
 	}
 	res := &AblationResult{LSRel: Geomean(lsRel)}
 

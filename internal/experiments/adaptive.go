@@ -7,6 +7,7 @@ import (
 
 	"schedfilter/internal/adaptive"
 	"schedfilter/internal/core"
+	"schedfilter/internal/par"
 	"schedfilter/internal/training"
 	"schedfilter/internal/workloads"
 )
@@ -75,6 +76,24 @@ func (r *Runner) Adaptive(t int) (*AdaptiveResult, error) {
 	all := append(append([]*training.BenchData(nil), data1...), data2...)
 	f := training.TrainFilter(all, t, r.cfg.RipperOpts)
 	f.Label = fmt.Sprintf("L/N t=%d (factory)", t)
+
+	// Warm the app-time cache in parallel: the three offline protocols'
+	// timed simulations are deterministic. The loop below — which measures
+	// wall-clock scheduling time and runs the adaptive tier's background
+	// pool — stays serial so its timings are not distorted.
+	if err := par.DoErr(r.cfg.Jobs, len(all), func(i int) error {
+		bd := all[i]
+		if _, err := r.AppTime(bd, core.Never{}); err != nil {
+			return err
+		}
+		if _, err := r.AppTime(bd, core.Always{}); err != nil {
+			return err
+		}
+		_, err := r.AppTime(bd, f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	res := &AdaptiveResult{FilterLabel: f.Label, Threshold: t}
 	var sumLSGain, sumSteadyGain int64

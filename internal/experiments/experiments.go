@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 	"time"
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/par"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sim"
 	"schedfilter/internal/training"
@@ -37,6 +39,12 @@ type Config struct {
 	// SchedTimeReps is how many times scheduling passes repeat when
 	// measuring wall-clock scheduling time (minimum is reported).
 	SchedTimeReps int
+	// Jobs bounds the worker pool the deterministic fan-outs use (data
+	// collection and the threshold × benchmark grids). <= 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Results are
+	// byte-identical at every job count — wall-clock measurements
+	// (SchedTime and the adaptive runs) always stay serial.
+	Jobs int
 }
 
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
@@ -49,14 +57,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runner caches collected benchmark data, induced filters, and simulated
-// application times so the full table/figure sweep stays fast.
+// Runner caches collected benchmark data, induced filters, labelled
+// datasets, and simulated application times so the full table/figure sweep
+// stays fast. All caches are goroutine-safe: the grid fan-outs share one
+// runner across workers, and every cached value is a pure function of its
+// key, so concurrent duplicate computation (rare; the grids mostly touch
+// disjoint keys) resolves to identical entries.
 type Runner struct {
 	cfg Config
 
-	suite1 []*training.BenchData
-	suite2 []*training.BenchData
+	suiteMu sync.Mutex
+	suite1  []*training.BenchData
+	suite2  []*training.BenchData
 
+	labels training.LabelCache
+
+	mu      sync.Mutex
 	filters map[string]*core.Induced // key: suite/target/t
 	appTime map[string]int64         // key: bench + decision-vector hash
 }
@@ -78,8 +94,10 @@ func NewRunner(cfg Config) *Runner {
 
 // Suite1 returns (collecting on first use) the SPECjvm98 stand-in data.
 func (r *Runner) Suite1() ([]*training.BenchData, error) {
+	r.suiteMu.Lock()
+	defer r.suiteMu.Unlock()
 	if r.suite1 == nil {
-		data, err := training.CollectAll(workloads.Suite1(), r.cfg.Model, r.cfg.CompileOpts)
+		data, err := training.CollectAllJobs(workloads.Suite1(), r.cfg.Model, r.cfg.CompileOpts, r.cfg.Jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -90,8 +108,10 @@ func (r *Runner) Suite1() ([]*training.BenchData, error) {
 
 // Suite2 returns (collecting on first use) the FP suite data.
 func (r *Runner) Suite2() ([]*training.BenchData, error) {
+	r.suiteMu.Lock()
+	defer r.suiteMu.Unlock()
 	if r.suite2 == nil {
-		data, err := training.CollectAll(workloads.Suite2(), r.cfg.Model, r.cfg.CompileOpts)
+		data, err := training.CollectAllJobs(workloads.Suite2(), r.cfg.Model, r.cfg.CompileOpts, r.cfg.Jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -108,18 +128,32 @@ func (r *Runner) suite(s workloads.Suite) ([]*training.BenchData, error) {
 }
 
 // Filter returns the leave-one-out filter for target at threshold t,
-// cached.
+// cached. Labelled datasets are drawn from the runner's label cache, so a
+// full sweep labels each (benchmark, threshold) pair once rather than once
+// per leave-one-out target.
 func (r *Runner) Filter(s workloads.Suite, target string, t int) (*core.Induced, error) {
 	key := fmt.Sprintf("%d/%s/%d", s, target, t)
-	if f, ok := r.filters[key]; ok {
+	r.mu.Lock()
+	f, ok := r.filters[key]
+	r.mu.Unlock()
+	if ok {
 		return f, nil
 	}
 	data, err := r.suite(s)
 	if err != nil {
 		return nil, err
 	}
-	f := training.LeaveOneOut(data, target, t, r.cfg.RipperOpts)
-	r.filters[key] = f
+	// Induce outside the lock: induction is the expensive part, it is
+	// deterministic, and distinct grid cells ask for distinct keys, so
+	// duplicated work only happens when two fan-outs race on the same key.
+	f = training.LeaveOneOutCached(data, target, t, r.cfg.RipperOpts, &r.labels)
+	r.mu.Lock()
+	if have, ok := r.filters[key]; ok {
+		f = have
+	} else {
+		r.filters[key] = f
+	}
+	r.mu.Unlock()
 	return f, nil
 }
 
@@ -138,6 +172,17 @@ func Geomean(xs []float64) float64 {
 		logSum += math.Log(x)
 	}
 	return math.Exp(logSum / float64(len(xs)))
+}
+
+// grid fans fn across the flattened (threshold × benchmark) cell space on
+// the runner's worker pool. Cell (ti, bi) must write only its own slot of
+// the caller's preallocated result storage; assembly into rows (and
+// geomeans) stays serial in the caller, which is what makes every table
+// byte-identical at any job count.
+func (r *Runner) grid(nT, nB int, fn func(ti, bi int) error) error {
+	return par.DoErr(r.cfg.Jobs, nT*nB, func(c int) error {
+		return fn(c/nB, c%nB)
+	})
 }
 
 // --- Table 3: classification error rates ---
@@ -162,16 +207,22 @@ func (r *Runner) Table3() (*Table3Result, error) {
 	for _, bd := range data {
 		res.Benchmarks = append(res.Benchmarks, bd.Name)
 	}
-	for _, t := range Thresholds {
-		row := make([]float64, len(data))
-		for i, bd := range data {
-			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = 100 * training.ErrorRate(f, bd, t)
+	res.Err = make([][]float64, len(Thresholds))
+	for ti := range res.Err {
+		res.Err[ti] = make([]float64, len(data))
+	}
+	err = r.grid(len(Thresholds), len(data), func(ti, bi int) error {
+		f, err := r.Filter(workloads.SuiteJVM98, data[bi].Name, Thresholds[ti])
+		if err != nil {
+			return err
 		}
-		res.Err = append(res.Err, row)
+		res.Err[ti][bi] = 100 * training.ErrorRate(f, data[bi], Thresholds[ti])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Err {
 		res.Geomean = append(res.Geomean, Geomean(row))
 	}
 	return res, nil
@@ -200,18 +251,25 @@ func (r *Runner) Table4() (*Table4Result, error) {
 	for _, bd := range data {
 		res.Benchmarks = append(res.Benchmarks, bd.Name)
 	}
-	for _, t := range Thresholds {
-		row := make([]float64, len(data))
-		for i, bd := range data {
-			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
-			if err != nil {
-				return nil, err
-			}
-			ns := training.PredictedTime(bd, core.Never{})
-			fl := training.PredictedTime(bd, f)
-			row[i] = 100 * float64(fl) / float64(ns)
+	res.Ratio = make([][]float64, len(Thresholds))
+	for ti := range res.Ratio {
+		res.Ratio[ti] = make([]float64, len(data))
+	}
+	err = r.grid(len(Thresholds), len(data), func(ti, bi int) error {
+		bd := data[bi]
+		f, err := r.Filter(workloads.SuiteJVM98, bd.Name, Thresholds[ti])
+		if err != nil {
+			return err
 		}
-		res.Ratio = append(res.Ratio, row)
+		ns := training.PredictedTime(bd, core.Never{})
+		fl := training.PredictedTime(bd, f)
+		res.Ratio[ti][bi] = 100 * float64(fl) / float64(ns)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Ratio {
 		res.Geomean = append(res.Geomean, Geomean(row))
 	}
 	return res, nil
@@ -263,16 +321,25 @@ func (r *Runner) Table6() (*Table6Result, error) {
 		return nil, err
 	}
 	res := &Table6Result{Thresholds: Thresholds}
-	for _, t := range Thresholds {
+	lsCell := make([]int, len(Thresholds)*len(data))
+	nsCell := make([]int, len(Thresholds)*len(data))
+	err = r.grid(len(Thresholds), len(data), func(ti, bi int) error {
+		f, err := r.Filter(workloads.SuiteJVM98, data[bi].Name, Thresholds[ti])
+		if err != nil {
+			return err
+		}
+		c := ti*len(data) + bi
+		lsCell[c], nsCell[c] = training.Decisions(data[bi], f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti := range Thresholds {
 		ls, ns := 0, 0
-		for _, bd := range data {
-			f, err := r.Filter(workloads.SuiteJVM98, bd.Name, t)
-			if err != nil {
-				return nil, err
-			}
-			l, n := training.Decisions(bd, f)
-			ls += l
-			ns += n
+		for bi := range data {
+			ls += lsCell[ti*len(data)+bi]
+			ns += nsCell[ti*len(data)+bi]
 		}
 		res.LS = append(res.LS, ls)
 		res.NS = append(res.NS, ns)
@@ -314,7 +381,10 @@ func (r *Runner) AppTime(bd *training.BenchData, f core.Filter) (int64, error) {
 		}
 	}
 	key := fmt.Sprintf("%s/%x", bd.Name, h.Sum64())
-	if c, ok := r.appTime[key]; ok {
+	r.mu.Lock()
+	c, ok := r.appTime[key]
+	r.mu.Unlock()
+	if ok {
 		return c, nil
 	}
 	prog := bd.Prog.Clone()
@@ -323,7 +393,9 @@ func (r *Runner) AppTime(bd *training.BenchData, f core.Filter) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%s: timed run: %w", bd.Name, err)
 	}
+	r.mu.Lock()
 	r.appTime[key] = res.Cycles
+	r.mu.Unlock()
 	return res.Cycles, nil
 }
 
@@ -350,6 +422,17 @@ func (r *Runner) SchedTimeFigure(s workloads.Suite, thresholds []int) (*FigureRe
 	res := &FigureResult{Thresholds: thresholds}
 	for _, bd := range data {
 		res.Benchmarks = append(res.Benchmarks, bd.Name)
+	}
+	// Induce every filter the figure needs up front, in parallel — filter
+	// induction is deterministic, so this only moves work. The wall-clock
+	// measurements below must stay serial: concurrent scheduling passes
+	// would contend for cores and corrupt each other's timings.
+	err = r.grid(len(thresholds), len(data), func(ti, bi int) error {
+		_, err := r.Filter(s, data[bi].Name, thresholds[ti])
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	lsTime := make([]time.Duration, len(data))
 	for i, bd := range data {
@@ -382,31 +465,49 @@ func (r *Runner) AppTimeFigure(s workloads.Suite, thresholds []int) (*FigureResu
 	res := &FigureResult{Thresholds: thresholds}
 	nsCycles := make([]int64, len(data))
 	lsCycles := make([]int64, len(data))
-	for i, bd := range data {
+	res.LSRel = make([]float64, len(data))
+	for _, bd := range data {
 		res.Benchmarks = append(res.Benchmarks, bd.Name)
+	}
+	// Baselines fan over benchmarks; the timed simulator counts cycles
+	// deterministically, so unlike SchedTimeFigure this is safe to
+	// parallelize end to end.
+	err = par.DoErr(r.cfg.Jobs, len(data), func(i int) error {
+		bd := data[i]
 		var err error
 		if nsCycles[i], err = r.AppTime(bd, core.Never{}); err != nil {
-			return nil, err
+			return err
 		}
 		if lsCycles[i], err = r.AppTime(bd, core.Always{}); err != nil {
-			return nil, err
+			return err
 		}
-		res.LSRel = append(res.LSRel, float64(lsCycles[i])/float64(nsCycles[i]))
+		res.LSRel[i] = float64(lsCycles[i]) / float64(nsCycles[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, t := range thresholds {
-		row := make([]float64, len(data))
-		for i, bd := range data {
-			f, err := r.Filter(s, bd.Name, t)
-			if err != nil {
-				return nil, err
-			}
-			c, err := r.AppTime(bd, f)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = float64(c) / float64(nsCycles[i])
+	res.Rel = make([][]float64, len(thresholds))
+	for ti := range res.Rel {
+		res.Rel[ti] = make([]float64, len(data))
+	}
+	err = r.grid(len(thresholds), len(data), func(ti, bi int) error {
+		bd := data[bi]
+		f, err := r.Filter(s, bd.Name, thresholds[ti])
+		if err != nil {
+			return err
 		}
-		res.Rel = append(res.Rel, row)
+		c, err := r.AppTime(bd, f)
+		if err != nil {
+			return err
+		}
+		res.Rel[ti][bi] = float64(c) / float64(nsCycles[bi])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Rel {
 		res.Geomean = append(res.Geomean, Geomean(row))
 	}
 	return res, nil

@@ -6,6 +6,7 @@ import (
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/par"
 	"schedfilter/internal/workloads"
 )
 
@@ -44,16 +45,20 @@ func CompareModels(base Config, models []*machine.Model) (*ModelCompareResult, e
 			return nil, err
 		}
 		row := make([]float64, len(data))
-		for i, bd := range data {
+		if err := par.DoErr(cfg.Jobs, len(data), func(i int) error {
+			bd := data[i]
 			ns, err := r.AppTime(bd, core.Never{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ls, err := r.AppTime(bd, core.Always{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row[i] = float64(ls) / float64(ns)
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		res.Models = append(res.Models, m.Name)
 		res.Rel = append(res.Rel, row)

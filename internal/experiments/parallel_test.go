@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"schedfilter/internal/workloads"
+)
+
+// mustJSON canonicalizes a result for byte-level comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestParallelSweepDeterministic is the determinism guarantee of the
+// parallel experiment engine: a fully serial runner (Jobs=1) and a heavily
+// oversubscribed parallel runner (Jobs=8 on any host) must produce
+// byte-identical JSON for every grid-fanned experiment. Run under -race in
+// CI, this also proves the engine's caches are data-race free.
+func TestParallelSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison is slow")
+	}
+	serialCfg := DefaultConfig()
+	serialCfg.Jobs = 1
+	parallelCfg := DefaultConfig()
+	parallelCfg.Jobs = 8
+	serial := NewRunner(serialCfg)
+	parallel := NewRunner(parallelCfg)
+
+	type step struct {
+		name string
+		run  func(r *Runner) (any, error)
+	}
+	steps := []step{
+		{"table3", func(r *Runner) (any, error) { return r.Table3() }},
+		{"table4", func(r *Runner) (any, error) { return r.Table4() }},
+		{"table6", func(r *Runner) (any, error) { return r.Table6() }},
+		{"apptime", func(r *Runner) (any, error) {
+			return r.AppTimeFigure(workloads.SuiteJVM98, []int{0, 25})
+		}},
+	}
+	for _, s := range steps {
+		want, err := s.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", s.name, err)
+		}
+		got, err := s.run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", s.name, err)
+		}
+		if w, g := mustJSON(t, want), mustJSON(t, got); w != g {
+			t.Errorf("%s: parallel result diverged from serial:\nserial:   %s\nparallel: %s",
+				s.name, w, g)
+		}
+	}
+}

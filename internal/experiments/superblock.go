@@ -6,6 +6,7 @@ import (
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/features"
+	"schedfilter/internal/par"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
 	"schedfilter/internal/training"
@@ -41,17 +42,27 @@ func (r *Runner) Superblocks(s workloads.Suite) (*SuperblockResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SuperblockResult{}
+	res := &SuperblockResult{
+		LocalRel: make([]float64, len(data)),
+		SuperRel: make([]float64, len(data)),
+	}
+	traces := make([]int, len(data))
+	duplicated := make([]int, len(data))
 	for _, bd := range data {
 		res.Benchmarks = append(res.Benchmarks, bd.Name)
-
+	}
+	// Each benchmark profiles, transforms, and times its own program
+	// clone; everything is deterministic, so the per-benchmark work fans
+	// out and only the slot-ordered aggregation below stays serial.
+	err = par.DoErr(r.cfg.Jobs, len(data), func(i int) error {
+		bd := data[i]
 		ns, err := r.AppTime(bd, core.Never{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ls, err := r.AppTime(bd, core.Always{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Superblock protocol: profile the unscheduled program, form
@@ -59,19 +70,27 @@ func (r *Runner) Superblocks(s workloads.Suite) (*SuperblockResult, error) {
 		prog := bd.Prog.Clone()
 		profRun, err := sim.Run(prog, sim.Config{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: profiling: %w", bd.Name, err)
+			return fmt.Errorf("%s: profiling: %w", bd.Name, err)
 		}
 		st := core.ApplySuperblocks(r.cfg.Model, prog, profRun.ExecCounts, profRun.TakenCounts,
 			sched.DefaultSuperblockOptions())
-		res.Traces += st.Traces
-		res.Duplicated += st.Duplicated
+		traces[i] = st.Traces
+		duplicated[i] = st.Duplicated
 		timed, err := sim.Run(prog, sim.Config{Timed: true, Model: r.cfg.Model})
 		if err != nil {
-			return nil, fmt.Errorf("%s: timed superblock run: %w", bd.Name, err)
+			return fmt.Errorf("%s: timed superblock run: %w", bd.Name, err)
 		}
 
-		res.LocalRel = append(res.LocalRel, float64(ls)/float64(ns))
-		res.SuperRel = append(res.SuperRel, float64(timed.Cycles)/float64(ns))
+		res.LocalRel[i] = float64(ls) / float64(ns)
+		res.SuperRel[i] = float64(timed.Cycles) / float64(ns)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range data {
+		res.Traces += traces[i]
+		res.Duplicated += duplicated[i]
 	}
 	res.GeoLocal = Geomean(res.LocalRel)
 	res.GeoSuper = Geomean(res.SuperRel)
@@ -123,52 +142,72 @@ func (r *Runner) SuperblockFilter(s workloads.Suite) (*SuperblockFilterResult, e
 	} else {
 		ws = workloads.Suite1()
 	}
-	var traceData []*training.TraceData
-	for i := range ws {
+	// Trace collection compiles and profiles each workload independently —
+	// fan it out like CollectAllJobs does for block data.
+	traceData := make([]*training.TraceData, len(ws))
+	err := par.DoErr(r.cfg.Jobs, len(ws), func(i int) error {
 		td, err := training.CollectSuperblockData(&ws[i], r.cfg.Model, r.cfg.CompileOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		traceData = append(traceData, td)
+		traceData[i] = td
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	data, err := r.suite(s)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &SuperblockFilterResult{}
-	for i, td := range traceData {
+	res := &SuperblockFilterResult{
+		ErrPct:      make([]float64, len(traceData)),
+		LocalRel:    make([]float64, len(traceData)),
+		SuperRel:    make([]float64, len(traceData)),
+		FilteredRel: make([]float64, len(traceData)),
+	}
+	for _, td := range traceData {
+		res.Benchmarks = append(res.Benchmarks, td.Name)
 		res.Traces += len(td.Records)
 		for j := range td.Records {
 			if training.TraceLabelOf(&td.Records[j], 0) == +1 {
 				res.Positive++
 			}
 		}
+	}
+	// Per-benchmark evaluation: trace leave-one-out induction plus three
+	// timed simulations, all deterministic, all slot-indexed.
+	err = par.DoErr(r.cfg.Jobs, len(traceData), func(i int) error {
+		td := traceData[i]
 		f := training.TraceLeaveOneOut(traceData, td.Name, 0, r.cfg.RipperOpts)
-		res.Benchmarks = append(res.Benchmarks, td.Name)
-		res.ErrPct = append(res.ErrPct, 100*training.TraceErrorRate(f, td, 0))
+		res.ErrPct[i] = 100 * training.TraceErrorRate(f, td, 0)
 
 		bd := data[i]
 		ns, err := r.AppTime(bd, core.Never{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ls, err := r.AppTime(bd, core.Always{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		super, err := r.superblockCycles(bd, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		filtered, err := r.superblockCycles(bd, f.ShouldSchedule)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.LocalRel = append(res.LocalRel, float64(ls)/float64(ns))
-		res.SuperRel = append(res.SuperRel, float64(super)/float64(ns))
-		res.FilteredRel = append(res.FilteredRel, float64(filtered)/float64(ns))
+		res.LocalRel[i] = float64(ls) / float64(ns)
+		res.SuperRel[i] = float64(super) / float64(ns)
+		res.FilteredRel[i] = float64(filtered) / float64(ns)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.GeoLocal = Geomean(res.LocalRel)
 	res.GeoSuper = Geomean(res.SuperRel)

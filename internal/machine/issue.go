@@ -41,11 +41,18 @@ func NewIssueState(m *Model) *IssueState {
 	return &IssueState{m: m}
 }
 
-// Reset clears the state for reuse.
+// Reset clears the state for reuse. The virtual-register map's storage is
+// retained (emptied, not dropped) so a reused state reaches a steady state
+// with no per-reset allocations — the scheduler's pooled scratch resets one
+// IssueState per scheduled block.
 func (s *IssueState) Reset() {
-	model := s.m
-	*s = IssueState{m: model}
+	model, virt := s.m, s.virtReady
+	clear(virt)
+	*s = IssueState{m: model, virtReady: virt}
 }
+
+// Model returns the machine model the state was built for.
+func (s *IssueState) Model() *Model { return s.m }
 
 // Clone returns an independent copy of the state.
 func (s *IssueState) Clone() *IssueState {

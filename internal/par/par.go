@@ -1,0 +1,80 @@
+// Package par is the deterministic fan-out primitive behind the parallel
+// experiment engine: a bounded worker pool over an index space, with
+// results written into caller-owned, index-addressed slots.
+//
+// Determinism comes from the shape, not from scheduling: every call
+// fn(i) depends only on i and on inputs that are immutable during the
+// fan-out, and writes only to slot i of the output. Workers may interleave
+// arbitrarily; the assembled output is identical at GOMAXPROCS=1 and N,
+// which is what the serial-vs-parallel determinism tests assert.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs resolves a -j style worker-count request: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged. 1 forces
+// the serial path (the fan-out runs inline on the calling goroutine).
+func Jobs(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Do runs fn(i) for every i in [0, n), fanning the index space across at
+// most jobs workers (jobs <= 1 runs serially on the calling goroutine).
+// Do returns when every call has finished.
+func Do(jobs, n int, fn func(i int)) {
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr is Do for fallible work. Every index runs regardless of failures
+// elsewhere (calls are independent by construction); the error of the
+// lowest failing index is returned, so the reported error is the same one
+// a serial loop that kept going would report first.
+func DoErr(jobs, n int, fn func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	Do(jobs, n, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}

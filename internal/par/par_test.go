@@ -1,0 +1,73 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobs(t *testing.T) {
+	if Jobs(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(0) = %d, want GOMAXPROCS", Jobs(0))
+	}
+	if Jobs(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(-3) = %d, want GOMAXPROCS", Jobs(-3))
+	}
+	if Jobs(5) != 5 {
+		t.Errorf("Jobs(5) = %d", Jobs(5))
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		const n = 500
+		var hits [n]atomic.Int32
+		Do(jobs, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndSerial(t *testing.T) {
+	ran := 0
+	Do(4, 0, func(int) { ran++ })
+	if ran != 0 {
+		t.Error("n=0 fan-out ran work")
+	}
+	// jobs=1 must run inline: no goroutine id tricks, but ordering is
+	// observable — a serial run visits indices in ascending order.
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestDoErrReturnsLowestIndexError(t *testing.T) {
+	sentinel := func(i int) error { return fmt.Errorf("fail-%d", i) }
+	for _, jobs := range []int{1, 4, 16} {
+		err := DoErr(jobs, 100, func(i int) error {
+			if i == 97 || i == 13 || i == 55 {
+				return sentinel(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-13" {
+			t.Errorf("jobs=%d: err = %v, want fail-13", jobs, err)
+		}
+	}
+	if err := DoErr(4, 50, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+	want := errors.New("boom")
+	if err := DoErr(1, 1, func(int) error { return want }); err != want {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}

@@ -32,6 +32,39 @@ func (d *Dataset) Add(x []float64, y bool) {
 	d.Y = append(d.Y, y)
 }
 
+// Grow reserves capacity for n additional instances, so a caller merging
+// several datasets of known size pays for at most one reallocation.
+func (d *Dataset) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(d.X) + n; need > cap(d.X) {
+		x := make([][]float64, len(d.X), need)
+		copy(x, d.X)
+		d.X = x
+	}
+	if need := len(d.Y) + n; need > cap(d.Y) {
+		y := make([]bool, len(d.Y), need)
+		copy(y, d.Y)
+		d.Y = y
+	}
+}
+
+// Append bulk-appends every instance of o. Attribute rows are shared, not
+// copied — both datasets must treat instance vectors as immutable (Induce
+// does). Names are adopted from o when d has none.
+func (d *Dataset) Append(o *Dataset) {
+	if o == nil || o.Len() == 0 {
+		return
+	}
+	if d.Names == nil {
+		d.Names = o.Names
+	}
+	d.Grow(o.Len())
+	d.X = append(d.X, o.X...)
+	d.Y = append(d.Y, o.Y...)
+}
+
 // Counts returns the number of positive and negative instances.
 func (d *Dataset) Counts() (pos, neg int) {
 	for _, y := range d.Y {

@@ -197,6 +197,66 @@ func TestParseFigure4Style(t *testing.T) {
 	}
 }
 
+func TestDatasetGrowAppend(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	parts := []*Dataset{
+		synth(r, 50, func(x []float64) bool { return x[0] >= 0.5 }, 0),
+		synth(r, 70, func(x []float64) bool { return x[1] <= 0.3 }, 0),
+		synth(r, 30, func(x []float64) bool { return x[2] >= 0.8 }, 0),
+	}
+
+	// Reference: instance-at-a-time Add.
+	want := &Dataset{Names: names(3)}
+	for _, p := range parts {
+		for i := range p.X {
+			want.Add(p.X[i], p.Y[i])
+		}
+	}
+
+	got := &Dataset{Names: names(3)}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	got.Grow(total)
+	capBefore := cap(got.X)
+	for _, p := range parts {
+		got.Append(p)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("Append produced %d instances, want %d", got.Len(), want.Len())
+	}
+	if cap(got.X) != capBefore {
+		t.Errorf("pre-sized Grow still reallocated: cap %d -> %d", capBefore, cap(got.X))
+	}
+	for i := range want.X {
+		if got.Y[i] != want.Y[i] {
+			t.Fatalf("label %d differs", i)
+		}
+		for j := range want.X[i] {
+			if got.X[i][j] != want.X[i][j] {
+				t.Fatalf("instance %d attr %d differs", i, j)
+			}
+		}
+	}
+
+	// Names adopted from the first appended part when unset.
+	adopt := &Dataset{}
+	adopt.Append(parts[0])
+	if len(adopt.Names) != 3 {
+		t.Errorf("Append did not adopt names: %v", adopt.Names)
+	}
+	// Nil and empty appends are no-ops.
+	n := adopt.Len()
+	adopt.Append(nil)
+	adopt.Append(&Dataset{})
+	adopt.Grow(0)
+	adopt.Grow(-5)
+	if adopt.Len() != n {
+		t.Errorf("no-op appends changed length %d -> %d", n, adopt.Len())
+	}
+}
+
 func TestConditionMatch(t *testing.T) {
 	le := Condition{Attr: 0, LE: true, Val: 5}
 	ge := Condition{Attr: 0, LE: false, Val: 5}

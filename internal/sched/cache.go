@@ -14,8 +14,19 @@ import (
 //
 // A nil cache degrades to ScheduleBlock.
 func ScheduleBlockCached(m *machine.Model, b *ir.Block, c *codecache.Cache) (Result, bool) {
+	s := GetScratch()
+	res, hit := ScheduleBlockCachedScratch(m, b, c, s)
+	PutScratch(s)
+	return res, hit
+}
+
+// ScheduleBlockCachedScratch is ScheduleBlockCached with caller-held
+// working memory, so a pass over many blocks (the compile server's request
+// path, the adaptive tier's background recompiler) schedules cache misses
+// without per-block allocations.
+func ScheduleBlockCachedScratch(m *machine.Model, b *ir.Block, c *codecache.Cache, s *Scratch) (Result, bool) {
 	if c == nil {
-		return ScheduleBlock(m, b), false
+		return ScheduleBlockScratch(m, b, s), false
 	}
 	key := codecache.BlockKey(m.Name, b.Instrs)
 	if e, ok := c.Lookup(key, len(b.Instrs)); ok {
@@ -33,7 +44,7 @@ func ScheduleBlockCached(m *machine.Model, b *ir.Block, c *codecache.Cache) (Res
 		}
 		return res, true
 	}
-	res := ScheduleBlock(m, b)
+	res := ScheduleBlockScratch(m, b, s)
 	entry := codecache.Entry{
 		NInstrs:    len(b.Instrs),
 		CostBefore: res.CostBefore,

@@ -26,50 +26,113 @@ type Result struct {
 // start soonest under the machine model; break ties by the longest
 // latency-weighted critical path to the end of the block, then by original
 // program order (for determinism).
+//
+// Working memory comes from a pooled Scratch, so steady-state calls
+// allocate only the returned order. Callers scheduling many blocks in a
+// row can hold a Scratch across calls via ScheduleInstrsScratch instead.
 func ScheduleInstrs(m *machine.Model, instrs []ir.Instr) Result {
+	s := GetScratch()
+	res := ScheduleInstrsScratch(m, instrs, s)
+	PutScratch(s)
+	return res
+}
+
+// ScheduleInstrsScratch is ScheduleInstrs with caller-held working memory:
+// the dependence DAG is built into the scratch's reusable storage and the
+// scheduling loop runs on its arrays and issue state.
+func ScheduleInstrsScratch(m *machine.Model, instrs []ir.Instr, s *Scratch) Result {
 	if len(instrs) == 0 {
 		return Result{}
 	}
-	return ScheduleDAG(m, instrs, BuildDAG(m, instrs))
+	buildDAGInto(m, instrs, &s.dag, s)
+	return scheduleDAG(m, instrs, &s.dag, s)
+}
+
+// ScheduleInstrsUnpooled is ScheduleInstrs on freshly allocated working
+// memory — the pre-pooling reference path. It exists for the equivalence
+// tests and the allocation accounting in the pipeline benchmark
+// (BENCH_pipeline.json's allocs-per-block "before" column); production
+// callers should use ScheduleInstrs.
+func ScheduleInstrsUnpooled(m *machine.Model, instrs []ir.Instr) Result {
+	return ScheduleInstrsScratch(m, instrs, NewScratch())
 }
 
 // ScheduleDAG runs CPS over a caller-supplied dependence DAG — the hook
 // superblock scheduling uses to relax the block-terminal rules for
 // internal branches.
 func ScheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG) Result {
+	s := GetScratch()
+	res := scheduleDAG(m, instrs, dag, s)
+	PutScratch(s)
+	return res
+}
+
+// scheduleDAG is the scheduling core. All working memory beyond the
+// returned order comes from the scratch.
+//
+// The ready-choice rule needs, every step, the earliest start cycle of
+// every ready instruction. Those values are monotone: an instruction's
+// operand-ready time is fixed the moment it becomes ready (all dependence
+// predecessors are scheduled), and the machine constraints — issue cycle,
+// slot consumption, unit busy times — only tighten as instructions issue.
+// So instead of recomputing EarliestStart for every candidate every step,
+// the loop caches a per-instruction lower bound (computed when the
+// instruction enters the ready set) and revalidates lazily: pick the
+// candidate that wins on cached values, recompute its true earliest start,
+// and re-pick only if the cache was stale. The chosen instruction is
+// provably the same one the full recomputation would pick — stale entries
+// are lower bounds, so a candidate that loses on cached values also loses
+// on true values — keeping schedules bit-identical to the reference path.
+func scheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG, s *Scratch) Result {
 	n := len(instrs)
 	res := Result{Order: make([]int, 0, n)}
 	if n == 0 {
 		return res
 	}
-	cp := dag.CriticalPaths(m, instrs)
+	cp := growInts(&s.cp, n)
+	dag.criticalPathsInto(m, instrs, cp)
 
-	indeg := make([]int, n)
+	// The estimator cost of the original order, from the reused state.
+	state := s.stateFor(m)
+	for i := range instrs {
+		state.Issue(&instrs[i])
+	}
+	res.CostBefore = state.Makespan()
+	state.Reset()
+
+	indeg := growInts(&s.indeg, n)
+	es := growInts(&s.es, n)
+	inReady := growBools(&s.inReady, n)
+	ready := s.ready[:0]
 	for i := 0; i < n; i++ {
 		indeg[i] = len(dag.Pred[i])
-	}
-	ready := make([]int, 0, n)
-	inReady := make([]bool, n)
-	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			ready = append(ready, i)
 			inReady[i] = true
+			es[i] = state.EarliestStart(&instrs[i])
 		}
 	}
 
-	state := machine.NewIssueState(m)
 	for len(res.Order) < n {
-		best := -1
-		bestStart, bestCP := 0, 0
-		for _, i := range ready {
-			es := state.EarliestStart(&instrs[i])
-			switch {
-			case best == -1,
-				es < bestStart,
-				es == bestStart && cp[i] > bestCP,
-				es == bestStart && cp[i] == bestCP && i < best:
-				best, bestStart, bestCP = i, es, cp[i]
+		var best int
+		for {
+			best = -1
+			bestStart, bestCP := 0, 0
+			for _, i := range ready {
+				e := es[i]
+				switch {
+				case best == -1,
+					e < bestStart,
+					e == bestStart && cp[i] > bestCP,
+					e == bestStart && cp[i] == bestCP && i < best:
+					best, bestStart, bestCP = i, e, cp[i]
+				}
 			}
+			fresh := state.EarliestStart(&instrs[best])
+			if fresh == es[best] {
+				break
+			}
+			es[best] = fresh // stale lower bound; raise and re-pick
 		}
 		state.Issue(&instrs[best])
 		res.Order = append(res.Order, best)
@@ -86,12 +149,13 @@ func ScheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG) Result {
 			if indeg[e.To] == 0 && !inReady[e.To] {
 				ready = append(ready, e.To)
 				inReady[e.To] = true
+				es[e.To] = state.EarliestStart(&instrs[e.To])
 			}
 		}
 	}
+	s.ready = ready[:0]
 
 	res.CostAfter = state.Makespan()
-	res.CostBefore = EstimateCost(m, instrs)
 	for pos, idx := range res.Order {
 		if pos != idx {
 			res.Changed = true
@@ -119,7 +183,17 @@ func (r Result) Apply(instrs []ir.Instr) []ir.Instr {
 // ScheduleBlock list-schedules a block in place, returning the result.
 // The block's instruction slice is replaced with the scheduled order.
 func ScheduleBlock(m *machine.Model, b *ir.Block) Result {
-	res := ScheduleInstrs(m, b.Instrs)
+	s := GetScratch()
+	res := ScheduleBlockScratch(m, b, s)
+	PutScratch(s)
+	return res
+}
+
+// ScheduleBlockScratch is ScheduleBlock with caller-held working memory —
+// the per-pass entry point the filtered scheduling pass uses so a whole
+// program reuses one scratch.
+func ScheduleBlockScratch(m *machine.Model, b *ir.Block, s *Scratch) Result {
+	res := ScheduleInstrsScratch(m, b.Instrs, s)
 	if res.Changed {
 		b.Instrs = res.Apply(b.Instrs)
 	}
@@ -131,8 +205,10 @@ func ScheduleBlock(m *machine.Model, b *ir.Block) Result {
 // per-block results in block order.
 func ScheduleFn(m *machine.Model, fn *ir.Fn) []Result {
 	out := make([]Result, len(fn.Blocks))
+	s := GetScratch()
 	for i, b := range fn.Blocks {
-		out[i] = ScheduleBlock(m, b)
+		out[i] = ScheduleBlockScratch(m, b, s)
 	}
+	PutScratch(s)
 	return out
 }

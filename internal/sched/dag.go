@@ -95,18 +95,27 @@ func (d *DAG) HasPath(i, j int) bool {
 // memory access) flow through the ordinary register rules, so a load never
 // hoists above its own check while independent loads stay mobile.
 func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
+	d := &DAG{}
+	s := GetScratch()
+	buildDAGInto(m, instrs, d, s)
+	PutScratch(s)
+	return d
+}
+
+// buildDAGInto is BuildDAG writing into caller storage: the DAG's
+// adjacency lists and the register/memory bookkeeping all come from the
+// scratch, so a warmed-up scratch builds DAGs without allocating. d may be
+// the scratch's own embedded DAG (the pooled fast path) or a fresh DAG
+// whose storage the caller keeps (BuildDAG, superblock formation).
+func buildDAGInto(m *machine.Model, instrs []ir.Instr, d *DAG, s *Scratch) {
 	n := len(instrs)
-	d := &DAG{
-		N:       n,
-		Succ:    make([][]Edge, n),
-		Pred:    make([][]Edge, n),
-		edgeSet: make(map[int64]int),
-	}
+	d.reset(n)
 
-	lastDef := make(map[ir.Reg]int)
-	lastUses := make(map[ir.Reg][]int)
+	clear(s.lastDef)
+	clear(s.lastUse)
+	s.nUse = 0
 
-	var loads, stores, peis []int
+	loads, stores, peis := s.loads[:0], s.stores[:0], s.peis[:0]
 	lastBarrier := -1
 
 	for i := range instrs {
@@ -114,24 +123,33 @@ func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
 
 		// Register dependences.
 		for _, u := range in.Uses {
-			if di, ok := lastDef[u]; ok {
+			if di, ok := s.lastDef[u]; ok {
 				d.addEdge(di, i, m.Latency(instrs[di].Op)) // true
 			}
 		}
 		for _, def := range in.Defs {
-			if di, ok := lastDef[def]; ok {
+			if di, ok := s.lastDef[def]; ok {
 				d.addEdge(di, i, 1) // output
 			}
-			for _, ui := range lastUses[def] {
-				d.addEdge(ui, i, 0) // anti
+			if si, ok := s.lastUse[def]; ok {
+				for _, ui := range s.useLists[si] {
+					d.addEdge(ui, i, 0) // anti
+				}
 			}
 		}
 		for _, u := range in.Uses {
-			lastUses[u] = append(lastUses[u], i)
+			si, ok := s.lastUse[u]
+			if !ok {
+				si = s.newUseSlot()
+				s.lastUse[u] = si
+			}
+			s.useLists[si] = append(s.useLists[si], i)
 		}
 		for _, def := range in.Defs {
-			lastDef[def] = i
-			lastUses[def] = lastUses[def][:0]
+			s.lastDef[def] = i
+			if si, ok := s.lastUse[def]; ok {
+				s.useLists[si] = s.useLists[si][:0]
+			}
 		}
 
 		op := in.Op
@@ -209,7 +227,8 @@ func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
 			peis = append(peis, i)
 		}
 	}
-	return d
+	// Hand the (possibly grown) tracking slices back for the next block.
+	s.loads, s.stores, s.peis = loads, stores, peis
 }
 
 // CriticalPaths returns, for every instruction, the length in cycles of
@@ -217,6 +236,12 @@ func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
 // the end of the block — the CPS tie-breaking priority.
 func (d *DAG) CriticalPaths(m *machine.Model, instrs []ir.Instr) []int {
 	cp := make([]int, d.N)
+	d.criticalPathsInto(m, instrs, cp)
+	return cp
+}
+
+// criticalPathsInto computes CriticalPaths into caller storage.
+func (d *DAG) criticalPathsInto(m *machine.Model, instrs []ir.Instr, cp []int) {
 	// Nodes in original order form a topological order (edges only go
 	// forward), so a reverse sweep suffices.
 	for i := d.N - 1; i >= 0; i-- {
@@ -228,5 +253,4 @@ func (d *DAG) CriticalPaths(m *machine.Model, instrs []ir.Instr) []int {
 		}
 		cp[i] = best
 	}
-	return cp
 }

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"sync"
+
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// Scratch is the reusable working memory of one scheduling call: the
+// dependence-DAG storage, the ready/indegree/critical-path arrays, the
+// earliest-start cache, and the machine issue state. A Scratch reaches a
+// steady state after a few blocks, at which point ScheduleInstrsScratch
+// performs a single allocation per call (the returned Order slice).
+//
+// A Scratch is not safe for concurrent use; use one per goroutine (the
+// package-level pool behind ScheduleInstrs hands each caller its own).
+type Scratch struct {
+	// dag is the reusable DAG ScheduleInstrsScratch builds into. DAGs
+	// returned by BuildDAG are freshly allocated and never alias it.
+	dag DAG
+
+	// state is the machine issue state, rebuilt only when the model
+	// changes between calls.
+	state *machine.IssueState
+
+	// Scheduling arrays (scheduleDAG).
+	cp      []int
+	indeg   []int
+	ready   []int
+	inReady []bool
+	es      []int
+
+	// DAG-construction state (buildDAGInto).
+	lastDef  map[ir.Reg]int
+	lastUse  map[ir.Reg]int // register -> slot in useLists
+	useLists [][]int
+	nUse     int
+	loads    []int
+	stores   []int
+	peis     []int
+}
+
+// NewScratch returns an empty scratch. Most callers should prefer
+// GetScratch/PutScratch, which recycle scratches through a pool.
+func NewScratch() *Scratch {
+	return &Scratch{
+		lastDef: make(map[ir.Reg]int),
+		lastUse: make(map[ir.Reg]int),
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch takes a scratch from the package pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch to the package pool. The scratch must not
+// be used after the call.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// stateFor returns the scratch's issue state reset for a fresh block,
+// rebuilding it if the machine model changed since the last call.
+func (s *Scratch) stateFor(m *machine.Model) *machine.IssueState {
+	if s.state == nil || s.state.Model() != m {
+		s.state = machine.NewIssueState(m)
+	} else {
+		s.state.Reset()
+	}
+	return s.state
+}
+
+// newUseSlot hands out the next reusable last-uses list, truncated.
+func (s *Scratch) newUseSlot() int {
+	if s.nUse < len(s.useLists) {
+		s.useLists[s.nUse] = s.useLists[s.nUse][:0]
+	} else {
+		s.useLists = append(s.useLists, nil)
+	}
+	s.nUse++
+	return s.nUse - 1
+}
+
+// growInts resizes *buf to length n, reusing its backing array. Contents
+// are unspecified; callers overwrite every element they read.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBools resizes *buf to length n and clears it.
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// reset prepares the DAG to describe an n-instruction block, reusing the
+// adjacency storage and the edge-dedup map from previous blocks.
+func (d *DAG) reset(n int) {
+	d.N = n
+	if cap(d.Succ) < n {
+		d.Succ = append(d.Succ[:cap(d.Succ)], make([][]Edge, n-cap(d.Succ))...)
+	}
+	if cap(d.Pred) < n {
+		d.Pred = append(d.Pred[:cap(d.Pred)], make([][]Edge, n-cap(d.Pred))...)
+	}
+	d.Succ = d.Succ[:n]
+	d.Pred = d.Pred[:n]
+	for i := 0; i < n; i++ {
+		d.Succ[i] = d.Succ[i][:0]
+		d.Pred[i] = d.Pred[i][:0]
+	}
+	if d.edgeSet == nil {
+		d.edgeSet = make(map[int64]int)
+	} else {
+		clear(d.edgeSet)
+	}
+}

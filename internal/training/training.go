@@ -10,6 +10,7 @@ package training
 
 import (
 	"fmt"
+	"sync"
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/features"
@@ -17,6 +18,7 @@ import (
 	"schedfilter/internal/jit"
 	"schedfilter/internal/jolt"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/par"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
@@ -81,9 +83,10 @@ func Collect(w *workloads.Workload, m *machine.Model, opts Options) (*BenchData,
 	}
 
 	bd := &BenchData{Name: w.Name, Suite: w.Suite, Prog: prog}
+	s := sched.GetScratch()
 	for fi, fn := range prog.Fns {
 		for bi, b := range fn.Blocks {
-			r := sched.ScheduleInstrs(m, b.Instrs)
+			r := sched.ScheduleInstrsScratch(m, b.Instrs, s)
 			bd.Records = append(bd.Records, BlockRecord{
 				Fn:     fn.Name,
 				Block:  bi,
@@ -94,18 +97,34 @@ func Collect(w *workloads.Workload, m *machine.Model, opts Options) (*BenchData,
 			})
 		}
 	}
+	sched.PutScratch(s)
 	return bd, nil
 }
 
-// CollectAll gathers BenchData for a set of workloads.
+// CollectAll gathers BenchData for a set of workloads, fanning the
+// collection across runtime.GOMAXPROCS(0) workers. Results are in workload
+// order regardless of worker count.
 func CollectAll(ws []workloads.Workload, m *machine.Model, opts Options) ([]*BenchData, error) {
-	var out []*BenchData
-	for i := range ws {
+	return CollectAllJobs(ws, m, opts, 0)
+}
+
+// CollectAllJobs is CollectAll with an explicit worker count (<= 0 selects
+// runtime.GOMAXPROCS(0), 1 forces the serial path). Each workload compiles
+// and profiles independently, so the fan-out shares nothing but the machine
+// model, which is read-only; the assembled slice — and any error, which is
+// always the lowest-indexed workload's — is identical at every job count.
+func CollectAllJobs(ws []workloads.Workload, m *machine.Model, opts Options, jobs int) ([]*BenchData, error) {
+	out := make([]*BenchData, len(ws))
+	err := par.DoErr(jobs, len(ws), func(i int) error {
 		bd, err := Collect(&ws[i], m, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, bd)
+		out[i] = bd
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -151,14 +170,65 @@ func LabelCounts(recs []BlockRecord, t int) (ls, ns int) {
 	return
 }
 
+// LabelCache memoizes labelled per-benchmark datasets by (benchmark,
+// threshold), so a leave-one-out sweep over B benchmarks and T thresholds
+// labels each benchmark T times instead of B·T times. Cached datasets are
+// immutable once built (Induce only reads them, and merging shares rows via
+// Dataset.Append rather than copying), so one cache may serve concurrent
+// trainers. The zero value is ready to use.
+type LabelCache struct {
+	mu sync.Mutex
+	m  map[labelKey]*ripper.Dataset
+}
+
+type labelKey struct {
+	bd *BenchData
+	t  int
+}
+
+// Labelled returns bd's instances labelled at threshold t, building and
+// memoizing the dataset on first use. The returned dataset is shared:
+// callers must not mutate it.
+func (c *LabelCache) Labelled(bd *BenchData, t int) *ripper.Dataset {
+	c.mu.Lock()
+	ds, ok := c.m[labelKey{bd, t}]
+	c.mu.Unlock()
+	if ok {
+		return ds
+	}
+	// Label outside the lock — it is pure, and two racing builders produce
+	// identical datasets, so last-write-wins is harmless.
+	ds = Label(bd.Records, t)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[labelKey]*ripper.Dataset)
+	}
+	if have, ok := c.m[labelKey{bd, t}]; ok {
+		ds = have
+	} else {
+		c.m[labelKey{bd, t}] = ds
+	}
+	c.mu.Unlock()
+	return ds
+}
+
 // TrainFilter induces a filter from the union of the given benchmarks'
 // instances at threshold t.
 func TrainFilter(data []*BenchData, t int, opt ripper.Options) *core.Induced {
+	return TrainFilterCached(data, t, opt, nil)
+}
+
+// TrainFilterCached is TrainFilter drawing labelled datasets from c (nil
+// means label from scratch). Per-benchmark datasets are merged with one
+// pre-sized bulk append per benchmark instead of an instance-at-a-time
+// copy of the already-built parts.
+func TrainFilterCached(data []*BenchData, t int, opt ripper.Options, c *LabelCache) *core.Induced {
 	ds := &ripper.Dataset{Names: features.Names[:]}
 	for _, bd := range data {
-		part := Label(bd.Records, t)
-		for i := range part.X {
-			ds.Add(part.X[i], part.Y[i])
+		if c != nil {
+			ds.Append(c.Labelled(bd, t))
+		} else {
+			ds.Append(Label(bd.Records, t))
 		}
 	}
 	rs := ripper.Induce(ds, opt)
@@ -168,13 +238,19 @@ func TrainFilter(data []*BenchData, t int, opt ripper.Options) *core.Induced {
 // LeaveOneOut trains a filter for the named benchmark using every OTHER
 // benchmark's instances, as the paper's cross-validation does.
 func LeaveOneOut(all []*BenchData, target string, t int, opt ripper.Options) *core.Induced {
-	var rest []*BenchData
+	return LeaveOneOutCached(all, target, t, opt, nil)
+}
+
+// LeaveOneOutCached is LeaveOneOut drawing labelled datasets from c (nil
+// means label from scratch).
+func LeaveOneOutCached(all []*BenchData, target string, t int, opt ripper.Options, c *LabelCache) *core.Induced {
+	rest := make([]*BenchData, 0, len(all))
 	for _, bd := range all {
 		if bd.Name != target {
 			rest = append(rest, bd)
 		}
 	}
-	f := TrainFilter(rest, t, opt)
+	f := TrainFilterCached(rest, t, opt, c)
 	f.Label = fmt.Sprintf("L/N t=%d (loo %s)", t, target)
 	return f
 }

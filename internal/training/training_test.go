@@ -138,6 +138,73 @@ func TestDecisionsPartition(t *testing.T) {
 	}
 }
 
+func TestCollectAllJobsMatchesSerial(t *testing.T) {
+	m := machine.NewMPC7410()
+	ws := workloads.Suite1()
+	serial, err := CollectAllJobs(ws, m, DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CollectAllJobs(ws, m, DefaultOptions(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel collected %d benchmarks, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Name != b.Name || len(a.Records) != len(b.Records) {
+			t.Fatalf("benchmark %d: %s/%d records vs %s/%d", i,
+				a.Name, len(a.Records), b.Name, len(b.Records))
+		}
+		for j := range a.Records {
+			if a.Records[j] != b.Records[j] {
+				t.Fatalf("%s record %d differs between serial and parallel collection:\n%+v\n%+v",
+					a.Name, j, a.Records[j], b.Records[j])
+			}
+		}
+	}
+}
+
+func TestLabelCacheAndCachedTraining(t *testing.T) {
+	data := collectSuite1(t)
+	var c LabelCache
+
+	// Cached datasets are memoized and identical to fresh labelling.
+	for _, bd := range data {
+		for _, th := range []int{0, 25} {
+			ds := c.Labelled(bd, th)
+			if ds != c.Labelled(bd, th) {
+				t.Fatalf("%s t=%d: cache returned a different dataset on the second lookup", bd.Name, th)
+			}
+			fresh := Label(bd.Records, th)
+			if ds.Len() != fresh.Len() {
+				t.Fatalf("%s t=%d: cached %d instances, fresh %d", bd.Name, th, ds.Len(), fresh.Len())
+			}
+		}
+	}
+
+	// Training through the cache induces the exact same rule sets.
+	opt := ripper.DefaultOptions()
+	for _, th := range []int{0, 25} {
+		plain := TrainFilter(data, th, opt)
+		cached := TrainFilterCached(data, th, opt, &c)
+		if plain.Rules.String() != cached.Rules.String() {
+			t.Errorf("t=%d: cached training diverged:\n%s\nvs\n%s",
+				th, plain.Rules, cached.Rules)
+		}
+		looPlain := LeaveOneOut(data, data[0].Name, th, opt)
+		looCached := LeaveOneOutCached(data, data[0].Name, th, opt, &c)
+		if looPlain.Rules.String() != looCached.Rules.String() {
+			t.Errorf("t=%d: cached leave-one-out diverged", th)
+		}
+		if looPlain.Label != looCached.Label {
+			t.Errorf("t=%d: labels differ: %q vs %q", th, looPlain.Label, looCached.Label)
+		}
+	}
+}
+
 func TestTrainFilterUsesFeatureNames(t *testing.T) {
 	data := collectSuite1(t)
 	f := TrainFilter(data, 0, ripper.DefaultOptions())
@@ -191,6 +258,35 @@ func TestCSVRejectsGarbage(t *testing.T) {
 	for i, c := range cases {
 		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d: ReadCSV accepted garbage", i)
+		}
+	}
+}
+
+// BenchmarkCollect measures one benchmark's full data collection:
+// compile, profile, and schedule every block experimentally on the pooled
+// scheduler path.
+func BenchmarkCollect(b *testing.B) {
+	m := machine.NewMPC7410()
+	w := workloads.ByName("compress")
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(w, m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectAllParallel measures suite-1 collection fanned across
+// GOMAXPROCS workers (the CollectAll default).
+func BenchmarkCollectAllParallel(b *testing.B) {
+	m := machine.NewMPC7410()
+	ws := workloads.Suite1()
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectAllJobs(ws, m, opts, 0); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

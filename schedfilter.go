@@ -317,6 +317,14 @@ func CollectTrainingData(w *Workload, m *Machine, opts CompileOptions) (*BenchDa
 	return training.Collect(w, m, opts)
 }
 
+// CollectAllTrainingData gathers BenchData for a set of workloads, fanning
+// the per-workload compilation and profiling across at most jobs workers
+// (jobs <= 0 selects runtime.GOMAXPROCS(0), 1 forces the serial path).
+// Results are in workload order and identical at every job count.
+func CollectAllTrainingData(ws []Workload, m *Machine, opts CompileOptions, jobs int) ([]*BenchData, error) {
+	return training.CollectAllJobs(ws, m, opts, jobs)
+}
+
 // TrainFilter induces an L/N filter at threshold t (percent) from the
 // given benchmarks' instances.
 func TrainFilter(data []*BenchData, t int, opt RipperOptions) *InducedFilter {
