@@ -236,7 +236,7 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 
 // BenchmarkCostEstimator measures the simplified machine timing estimator.
 func BenchmarkCostEstimator(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	r := rand.New(rand.NewSource(2))
 	blocks := make([]*Block, 64)
 	for i := range blocks {
@@ -251,7 +251,7 @@ func BenchmarkCostEstimator(b *testing.B) {
 // BenchmarkListScheduler measures CPS list scheduling of one block
 // (dependence DAG + critical paths + greedy issue).
 func BenchmarkListScheduler(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	r := rand.New(rand.NewSource(3))
 	blocks := make([]*Block, 64)
 	for i := range blocks {
@@ -267,7 +267,7 @@ func BenchmarkListScheduler(b *testing.B) {
 // (features + rule evaluation) — the paper's claim is that this is far
 // cheaper than scheduling.
 func BenchmarkFilterEvaluation(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	data, err := training.CollectAll(workloads.Suite1(), m, training.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -288,7 +288,7 @@ func BenchmarkFilterEvaluation(b *testing.B) {
 // BenchmarkRipperInduce measures rule induction on the full suite-1
 // training set (the paper: "induces heuristics in seconds").
 func BenchmarkRipperInduce(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	data, err := training.CollectAll(workloads.Suite1(), m, training.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -326,7 +326,7 @@ func BenchmarkJITCompile(b *testing.B) {
 // BenchmarkSchedulingPassLS measures the whole always-schedule pass over
 // a compiled benchmark (the denominator of Figures 1a/2a/3a).
 func BenchmarkSchedulingPassLS(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	w := workloads.ByName("raytrace")
 	mod, err := w.Compile()
 	if err != nil {
@@ -345,7 +345,7 @@ func BenchmarkSchedulingPassLS(b *testing.B) {
 // BenchmarkTimedSimulation measures the whole-program cycle simulator on
 // the scimark workload.
 func BenchmarkTimedSimulation(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	w := workloads.ByName("scimark")
 	mod, err := w.Compile()
 	if err != nil {
@@ -379,7 +379,7 @@ func BenchmarkSuperblocks(b *testing.B) {
 // BenchmarkSuperblockScheduling measures forming and scheduling the
 // superblocks of one compiled benchmark.
 func BenchmarkSuperblockScheduling(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	w := workloads.ByName("scimark")
 	mod, err := w.CompileWithOptions(joltOptions4())
 	if err != nil {

@@ -7,6 +7,12 @@
 //
 //	joltrun [-workload name | prog.jolt | prog.jzbc]
 //	        [-sched ls|ns|size:N|rules:FILE] [-timed] [-interp]
+//	        [-target name]
+//
+// -target picks the machine model (scheduling latencies and, with
+// -timed, simulated cycle timing) by registry name; the default is
+// mpc7410. `joltrun -target scalar1 -timed ...` times the same program
+// on the single-issue variant.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 	schedSpec := flag.String("sched", "ns", "protocol: ls, ns, size:N, or rules:FILE")
 	timed := flag.Bool("timed", false, "run the cycle-accurate timing simulator")
 	useInterp := flag.Bool("interp", false, "run the bytecode interpreter instead of compiled code")
+	target := flag.String("target", schedfilter.DefaultTargetName, "machine target to schedule and time for (see schedfilter.Targets)")
 	flag.Parse()
 
 	mod, err := loadModule(*workload, flag.Args())
@@ -49,7 +56,11 @@ func main() {
 		return
 	}
 
-	m := schedfilter.NewMachine()
+	tgt, err := schedfilter.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+	m := tgt.Model
 	prog, err := schedfilter.CompileModule(mod, schedfilter.DefaultJITOptions())
 	if err != nil {
 		fatal(err)

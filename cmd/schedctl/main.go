@@ -8,15 +8,17 @@
 //
 // Commands:
 //
-//	compile   -src FILE | -workload NAME [-listing]
-//	schedule  -src FILE | -workload NAME [-filter F] [-no-cache]
-//	predict   -src FILE | -workload NAME [-filter F] [-detail]
-//	execute   -src FILE | -workload NAME [-filter F] [-untimed]
+//	compile   -src FILE | -workload NAME [-listing] [-target T]
+//	schedule  -src FILE | -workload NAME [-filter F] [-no-cache] [-target T]
+//	predict   -src FILE | -workload NAME [-filter F] [-detail] [-target T]
+//	execute   -src FILE | -workload NAME [-filter F] [-untimed] [-target T]
 //	health
 //	metrics
-//	loadgen   [-workload NAME] [-src FILE] [-filter F] [-n 200] [-c 8]
+//	loadgen   [-workload NAME] [-src FILE] [-filter F] [-target T] [-n 200] [-c 8]
 //
 // Filters: default (the server's), LS, NS, size:N.
+// Targets: registered machine names (schedctl health lists them); empty
+// means the server's default.
 //
 // loadgen fires n identical schedule requests at concurrency c and
 // reports client-side throughput/latency plus the server-side cache hit
@@ -123,15 +125,16 @@ func (c *client) getText(path string, w io.Writer) error {
 
 // inputFlags registers the program-input and filter flags shared by every
 // compiler command.
-func inputFlags(fs *flag.FlagSet) (src, workload, filter *string) {
+func inputFlags(fs *flag.FlagSet) (src, workload, filter, target *string) {
 	src = fs.String("src", "", "Jolt source file")
 	workload = fs.String("workload", "", "bundled benchmark name (alternative to -src)")
 	filter = fs.String("filter", "", "scheduling filter: default, LS, NS, size:N")
+	target = fs.String("target", "", "machine target (empty = server default; unknown names are rejected)")
 	return
 }
 
-func makeInput(src, workload string) (server.ProgramInput, error) {
-	var in server.ProgramInput
+func makeInput(src, workload, target string) (server.ProgramInput, error) {
+	in := server.ProgramInput{Target: target}
 	switch {
 	case src != "" && workload != "":
 		return in, fmt.Errorf("-src and -workload are mutually exclusive")
@@ -151,7 +154,7 @@ func makeInput(src, workload string) (server.ProgramInput, error) {
 
 func runRequest(c *client, cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	src, workload, filter := inputFlags(fs)
+	src, workload, filter, target := inputFlags(fs)
 	listing := fs.Bool("listing", false, "compile: include the machine-code listing")
 	noCache := fs.Bool("no-cache", false, "schedule: bypass the scheduled-block cache")
 	detail := fs.Bool("detail", false, "predict: per-block decisions")
@@ -159,7 +162,7 @@ func runRequest(c *client, cmd string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	in, err := makeInput(*src, *workload)
+	in, err := makeInput(*src, *workload, *target)
 	if err != nil {
 		return err
 	}
@@ -211,7 +214,7 @@ func (c *client) scrape() (map[string]int64, error) {
 
 func runLoadgen(c *client, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	src, workload, filter := inputFlags(fs)
+	src, workload, filter, target := inputFlags(fs)
 	n := fs.Int("n", 200, "total requests")
 	conc := fs.Int("c", 8, "concurrent clients")
 	if err := fs.Parse(args); err != nil {
@@ -220,7 +223,7 @@ func runLoadgen(c *client, args []string) error {
 	if *src == "" && *workload == "" {
 		*workload = "compress"
 	}
-	in, err := makeInput(*src, *workload)
+	in, err := makeInput(*src, *workload, *target)
 	if err != nil {
 		return err
 	}
@@ -276,11 +279,12 @@ func runLoadgen(c *client, args []string) error {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
 
-	target := *workload
-	if target == "" {
-		target = *src
+	prog := *workload
+	if prog == "" {
+		prog = *src
 	}
-	fmt.Printf("loadgen: %d requests, %d concurrent, target=%s filter=%s\n", *n, *conc, target, orDefault(*filter))
+	fmt.Printf("loadgen: %d requests, %d concurrent, prog=%s target=%s filter=%s\n",
+		*n, *conc, prog, orDefault(*target), orDefault(*filter))
 	fmt.Printf("loadgen: wall %v, %.1f req/s, ok %d, failed %d\n",
 		wall.Round(time.Millisecond), float64(ok)/wall.Seconds(), ok, failures.Load())
 	if ok > 0 {

@@ -9,11 +9,18 @@
 //	schedexp -adaptive -json                       # ...plus BENCH_adaptive.json
 //	schedexp -exp server -json                     # compile-server benchmark → BENCH_server.json
 //	schedexp -exp server -json -out /tmp/s.json    # ...to an explicit path
+//	schedexp -exp targets -json                    # cross-target matrix → BENCH_targets.json
+//	schedexp -exp table4 -target wide4             # the paper tables under another machine
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server pipeline all
+//	sbfilter adaptive server pipeline targets all
+//
+// -experiment is an alias for -exp. -target picks the machine model the
+// experiments run against by registry name (default mpc7410; see
+// schedfilter.Targets()). The targets experiment ignores -target — it
+// sweeps its own train×eval grid.
 //
 // -j N bounds the experiment engine's worker pool (default: GOMAXPROCS).
 // Every table and figure is byte-identical at any -j; wall-clock
@@ -51,17 +58,30 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "which experiment to run (see package doc)")
+	expAlias := flag.String("experiment", "", "alias for -exp")
 	adaptiveMode := flag.Bool("adaptive", false, "run the adaptive-tier comparison (shorthand for -exp adaptive)")
 	jsonOut := flag.Bool("json", false, "also write the step's benchmark numbers as a JSON artifact")
 	outPath := flag.String("out", "", "JSON artifact path (default BENCH_adaptive.json / BENCH_server.json per step)")
 	jobs := flag.Int("j", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS, 1 = serial)")
+	target := flag.String("target", "", "machine target the experiments run against (default: "+machine.DefaultTargetName+")")
 	flag.Parse()
+	if *expAlias != "" {
+		*exp = *expAlias
+	}
 	if *adaptiveMode {
 		*exp = "adaptive"
 	}
 
 	cfg := schedfilter.DefaultExperimentConfig()
 	cfg.Jobs = *jobs
+	if *target != "" {
+		tgt, err := machine.ByName(*target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedexp:", err)
+			os.Exit(1)
+		}
+		cfg.Model = tgt.Model
+	}
 	r := schedfilter.NewExperimentRunner(cfg)
 	start := time.Now()
 	if err := run(r, cfg, *jobs, *exp, *jsonOut, *outPath); err != nil {
@@ -210,7 +230,7 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, js
 		}},
 		{"models", func() error {
 			res, err := experiments.CompareModels(cfg,
-				[]*machine.Model{machine.NewMPC7410(), machine.NewScalar603()})
+				[]*machine.Model{machine.Default().Model, machine.MustByName("scalar603").Model})
 			if err != nil {
 				return err
 			}
@@ -268,6 +288,19 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, js
 		}
 		fmt.Println(res.Render())
 		if err := writeArtifact(jsonOut, outPath, "BENCH_pipeline.json", res); err != nil {
+			return err
+		}
+	}
+	// The targets experiment collects suite 1 once per machine in the grid
+	// (cold caches, its own machines), so it too only runs by name.
+	if exp == "targets" {
+		did = true
+		res, err := experiments.CrossTargets(cfg, nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_targets.json", res); err != nil {
 			return err
 		}
 	}

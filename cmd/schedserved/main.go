@@ -8,10 +8,18 @@
 //
 //	schedserved [-addr :8723] [-model rules.txt] [-filter factory]
 //	            [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
+//	            [-target mpc7410]
 //
 // The -filter flag selects the default filter applied when a request does
 // not name one: "factory" (the loaded model), "LS", "NS", or "size:N".
 // Model files are produced by schedtrain -o or schedfilter.SaveFilter.
+//
+// The -target flag picks the default machine target for requests that do
+// not name one; every registered target is servable per-request either
+// way, each with its own scheduled-block cache. Booting a model that was
+// trained for a different target than the default prints a warning but
+// proceeds — block features are target-independent, the filter is just
+// being applied to a machine it was not tuned for.
 //
 // Observability: GET /metrics (Prometheus text format), GET /healthz,
 // and /debug/pprof. Shutdown on SIGINT/SIGTERM is graceful: the listener
@@ -52,9 +60,13 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); overflow is rejected with 429")
 	cacheWeight := flag.Int("cache", 0, "scheduled-block cache bound in words (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	target := flag.String("target", schedfilter.DefaultTargetName, "default machine target for requests that don't name one")
 	flag.Parse()
 
-	induced, err := loadModel(*modelPath)
+	if _, err := schedfilter.TargetByName(*target); err != nil {
+		fatal(err)
+	}
+	induced, err := loadModel(*modelPath, *target)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,9 +80,10 @@ func main() {
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		CacheWeight: *cacheWeight,
+		Target:      *target,
 	})
-	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (filter %s, %d rules in model)\n",
-		*addr, filter.Name(), len(induced.Rules.Rules))
+	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (target %s, filter %s, %d rules in model)\n",
+		*addr, *target, filter.Name(), len(induced.Rules.Rules))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -80,15 +93,19 @@ func main() {
 	fmt.Fprintln(os.Stderr, "schedserved: drained, bye")
 }
 
-func loadModel(path string) (*schedfilter.InducedFilter, error) {
+func loadModel(path, target string) (*schedfilter.InducedFilter, error) {
 	if path == "" {
 		f, err := schedfilter.ParseFilter(factoryModel)
 		if err != nil {
 			return nil, fmt.Errorf("embedded factory model: %w", err)
 		}
+		if f.Target != "" && f.Target != target {
+			fmt.Fprintf(os.Stderr, "schedserved: warning: factory model was trained for target %q but the default target is %q\n",
+				f.Target, target)
+		}
 		return f, nil
 	}
-	return schedfilter.LoadFilter(path)
+	return schedfilter.LoadFilterFor(path, target)
 }
 
 func pickFilter(name string, induced *schedfilter.InducedFilter) (schedfilter.Filter, error) {

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	schedtrain [-suite 1|2|all] [-t 20] [-loo benchmark] [-o rules.txt]
-//	           [-csv instances.csv] [-stats] [-j N]
+//	           [-csv instances.csv] [-stats] [-j N] [-target name]
 //
 // -j N fans the per-benchmark collection (compile, profile, schedule
 // experimentally) across N workers; 0 means GOMAXPROCS, 1 forces the
 // serial path. The collected data — and everything induced from it — is
 // identical at every -j.
+//
+// -target picks the machine model the labels are measured against by
+// registry name (default mpc7410). The induced filter records that name;
+// -o files carry it in a "# target:" header so loaders can warn when a
+// filter is applied under a different machine.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also dump the raw instances as CSV to this file")
 	stats := flag.Bool("stats", true, "print training-set statistics")
 	jobs := flag.Int("j", 0, "workers for data collection (0 = GOMAXPROCS, 1 = serial)")
+	target := flag.String("target", schedfilter.DefaultTargetName, "machine target to train against (see schedfilter.Targets)")
 	flag.Parse()
 
 	var ws []workloads.Workload
@@ -47,8 +53,11 @@ func main() {
 		fatal(fmt.Errorf("bad -suite %q (want 1, 2, or all)", *suite))
 	}
 
-	m := schedfilter.NewMachine()
-	data, err := schedfilter.CollectAllTrainingData(ws, m, schedfilter.DefaultCompileOptions(), *jobs)
+	tgt, err := schedfilter.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := schedfilter.CollectAllTrainingData(ws, tgt.Model, schedfilter.DefaultCompileOptions(), *jobs)
 	if err != nil {
 		fatal(err)
 	}

@@ -47,8 +47,12 @@ import (
 
 // Config parameterizes an adaptive run.
 type Config struct {
-	// Model is the machine timing model (required).
+	// Model is the machine timing model. When nil, Target picks it from
+	// the registry; at least one of the two must identify a machine.
 	Model *machine.Model
+	// Target names a registered machine target to run against. It is
+	// consulted only when Model is nil; an unknown name is an error.
+	Target string
 	// Filter gates the list scheduler inside the optimized tier; nil
 	// means always schedule (plain LS at the top tier).
 	Filter core.Filter
@@ -79,7 +83,14 @@ type Config struct {
 
 func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Model == nil {
-		return cfg, errors.New("adaptive: config requires a machine model")
+		if cfg.Target == "" {
+			return cfg, errors.New("adaptive: config requires a machine model or target name")
+		}
+		tgt, err := machine.ByName(cfg.Target)
+		if err != nil {
+			return cfg, fmt.Errorf("adaptive: %w", err)
+		}
+		cfg.Model = tgt.Model
 	}
 	if cfg.Filter == nil {
 		cfg.Filter = core.Always{}

@@ -77,7 +77,7 @@ func TestConfigRequiresModel(t *testing.T) {
 }
 
 func TestAdaptivePreservesSemantics(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for _, name := range []string{"compress", "jack", "scimark"} {
 		mod, prog := compileWorkload(t, name)
 		base, err := sim.Run(prog.Clone(), sim.Config{Timed: true, Model: m})
@@ -126,7 +126,7 @@ func TestAdaptivePreservesSemantics(t *testing.T) {
 }
 
 func TestNeverFilterSchedulesNothing(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	_, prog := compileWorkload(t, "compress")
 	base, err := sim.Run(prog.Clone(), sim.Config{Timed: true, Model: m})
 	if err != nil {
@@ -153,7 +153,7 @@ func TestNeverFilterSchedulesNothing(t *testing.T) {
 }
 
 func TestAlwaysFilterImprovesSteadyState(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	_, prog := compileWorkload(t, "scimark") // scheduling-sensitive FP kernel
 	base, err := sim.Run(prog.Clone(), sim.Config{Timed: true, Model: m})
 	if err != nil {
@@ -170,7 +170,7 @@ func TestAlwaysFilterImprovesSteadyState(t *testing.T) {
 }
 
 func TestBoundedQueueBackpressure(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	_, prog := compileWorkload(t, "jack")
 	res, err := Run(prog, Config{
 		Model:       m,
@@ -195,7 +195,7 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 }
 
 func TestSkipSteady(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	_, prog := compileWorkload(t, "compress")
 	res, err := Run(prog, Config{Model: m, SkipSteady: true})
 	if err != nil {
@@ -210,7 +210,7 @@ func TestSkipSteady(t *testing.T) {
 }
 
 func TestInputProgramNotMutated(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	_, prog := compileWorkload(t, "compress")
 	before := prog.String()
 	if _, err := Run(prog, Config{Model: m, SampleEvery: 2000}); err != nil {
@@ -218,5 +218,33 @@ func TestInputProgramNotMutated(t *testing.T) {
 	}
 	if prog.String() != before {
 		t.Error("adaptive run mutated the input program")
+	}
+}
+
+func TestConfigResolvesTargetName(t *testing.T) {
+	if _, err := (Config{Target: "z80"}).withDefaults(); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	cfg, err := (Config{Target: "scalar1"}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := machine.MustByName("scalar1").Model; cfg.Model != want {
+		t.Fatalf("Target scalar1 resolved to model %v, want the registry's", cfg.Model)
+	}
+	// An explicit model wins over the name: Target is a convenience, not
+	// an override.
+	def := machine.Default().Model
+	cfg, err = (Config{Model: def, Target: "scalar1"}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Model != def {
+		t.Fatal("explicit model was displaced by Target")
+	}
+	// And the resolved config actually runs.
+	_, prog := compileWorkload(t, "compress")
+	if _, err := Run(prog, Config{Target: "scalar1", SkipSteady: true}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,54 @@
+package codecache
+
+import (
+	"testing"
+
+	"schedfilter/internal/ir"
+	"schedfilter/internal/machine"
+)
+
+// Fingerprints hash the machine model's display name, so the same block
+// scheduled for two different targets must never share a cache entry:
+// the scheduler's output depends on the target's latencies and widths.
+// This pins that property over every registered target pair.
+func TestBlockKeysNeverCollideAcrossTargets(t *testing.T) {
+	instrs := []ir.Instr{
+		{Op: ir.LD, Defs: []ir.Reg{ir.GPR(3)}, Uses: []ir.Reg{ir.GPR(4)}},
+		{Op: ir.ADDI, Defs: []ir.Reg{ir.GPR(5)}, Uses: []ir.Reg{ir.GPR(3)}, Imm: 1},
+		{Op: ir.MULL, Defs: []ir.Reg{ir.GPR(6)}, Uses: []ir.Reg{ir.GPR(5), ir.GPR(3)}},
+	}
+	targets := machine.All()
+	keys := map[Key]string{}
+	for _, tgt := range targets {
+		k := BlockKey(tgt.Model.Name, instrs)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("targets %q and %q produced the same block key", prev, tgt.Name)
+		}
+		keys[k] = tgt.Name
+		// Same target, same content: stable.
+		if again := BlockKey(tgt.Model.Name, instrs); again != k {
+			t.Fatalf("%s: block key not stable", tgt.Name)
+		}
+	}
+}
+
+func TestProgramKeysNeverCollideAcrossTargets(t *testing.T) {
+	p := &ir.Program{
+		Fns: []*ir.Fn{{
+			Name: "f",
+			Blocks: []*ir.Block{{
+				Instrs: []ir.Instr{
+					{Op: ir.ADDI, Defs: []ir.Reg{ir.GPR(3)}, Uses: []ir.Reg{ir.GPR(3)}, Imm: 1},
+				},
+			}},
+		}},
+	}
+	keys := map[Key]string{}
+	for _, tgt := range machine.All() {
+		k := ProgramKey(tgt.Model.Name, "LS", p)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("targets %q and %q produced the same program key", prev, tgt.Name)
+		}
+		keys[k] = tgt.Name
+	}
+}

@@ -11,7 +11,7 @@ import (
 // pass, and a repeat over identical content must be served entirely from
 // the cache without re-running the list scheduler.
 func TestApplyFilterCachedMatchesUncached(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	base := genProgram(6, 24)
 	c := codecache.New(1 << 16)
 
@@ -49,7 +49,7 @@ func TestApplyFilterCachedMatchesUncached(t *testing.T) {
 
 // A nil cache must behave exactly like the uncached entry point.
 func TestApplyFilterCachedNilCache(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(7, 8)
 	st := ApplyFilterCached(m, p.Clone(), Always{}, nil)
 	if st.CacheHits != 0 || st.CacheMisses != 0 {
@@ -59,7 +59,7 @@ func TestApplyFilterCachedNilCache(t *testing.T) {
 
 // NS with a cache does no scheduling and no cache traffic.
 func TestApplyFilterCachedNever(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	c := codecache.New(1 << 12)
 	st := ApplyFilterCached(m, genProgram(8, 8), Never{}, c)
 	if st.Scheduled != 0 || st.CacheHits != 0 || st.CacheMisses != 0 {

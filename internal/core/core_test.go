@@ -47,7 +47,7 @@ func TestSizeThreshold(t *testing.T) {
 }
 
 func TestApplyFilterNeverDoesNothing(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(1, 12)
 	orig := p.Clone()
 	st := ApplyFilter(m, p, Never{})
@@ -60,7 +60,7 @@ func TestApplyFilterNeverDoesNothing(t *testing.T) {
 }
 
 func TestApplyFilterAlwaysSchedulesAll(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(2, 12)
 	st := ApplyFilter(m, p, Always{})
 	if st.Scheduled != 12 || st.NotScheduled != 0 {
@@ -72,7 +72,7 @@ func TestApplyFilterAlwaysSchedulesAll(t *testing.T) {
 }
 
 func TestApplyFilterPartitionsBlocks(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(3, 20)
 	st := ApplyFilter(m, p, SizeThreshold{MinLen: 25})
 	if st.Scheduled+st.NotScheduled != st.Blocks {
@@ -84,7 +84,7 @@ func TestApplyFilterPartitionsBlocks(t *testing.T) {
 }
 
 func TestApplyFilterTimesThePass(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(4, 10)
 	st := ApplyFilter(m, p, Always{})
 	if st.SchedTime <= 0 {
@@ -93,7 +93,7 @@ func TestApplyFilterTimesThePass(t *testing.T) {
 }
 
 func TestDecideMatchesApply(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	p := genProgram(5, 16)
 	f := SizeThreshold{MinLen: 20}
 	dec := Decide(p, f)

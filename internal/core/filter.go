@@ -68,14 +68,27 @@ type Induced struct {
 	Rules *ripper.RuleSet
 	// Label identifies the filter (e.g. "L/N t=20") in reports.
 	Label string
+	// Target names the machine target the filter's labels were computed
+	// under (e.g. "mpc7410"). Features are target-independent, so a
+	// filter still evaluates under any machine — Target records which
+	// cost model taught it, for mismatch warnings and the cross-target
+	// transfer experiment. Empty means unknown (pre-registry model
+	// files).
+	Target string
 }
 
-// NewInduced wraps a rule set as a filter.
+// NewInduced wraps a rule set as a filter with no target provenance.
 func NewInduced(rs *ripper.RuleSet, label string) *Induced {
+	return NewInducedFor(rs, label, "")
+}
+
+// NewInducedFor wraps a rule set as a filter trained for the named
+// machine target.
+func NewInducedFor(rs *ripper.RuleSet, label, target string) *Induced {
 	if label == "" {
 		label = "L/N"
 	}
-	return &Induced{Rules: rs, Label: label}
+	return &Induced{Rules: rs, Label: label, Target: target}
 }
 
 // Name implements Filter.

@@ -28,7 +28,8 @@ var Thresholds = []int{0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
 
 // Config parameterizes a run.
 type Config struct {
-	// Model is the machine model (default MPC7410).
+	// Model is the machine model (default: the registry's default
+	// target, mpc7410). Resolve named targets with machine.ByName.
 	Model *machine.Model
 	// CompileOpts configure the pipeline (default: aggressive inlining
 	// plus 4-way loop unrolling).
@@ -50,7 +51,7 @@ type Config struct {
 // DefaultConfig returns the configuration used throughout EXPERIMENTS.md.
 func DefaultConfig() Config {
 	return Config{
-		Model:         machine.NewMPC7410(),
+		Model:         machine.Default().Model,
 		CompileOpts:   training.DefaultOptions(),
 		RipperOpts:    ripper.DefaultOptions(),
 		SchedTimeReps: 5,
@@ -80,7 +81,7 @@ type Runner struct {
 // NewRunner builds a runner.
 func NewRunner(cfg Config) *Runner {
 	if cfg.Model == nil {
-		cfg.Model = machine.NewMPC7410()
+		cfg.Model = machine.Default().Model
 	}
 	if cfg.SchedTimeReps <= 0 {
 		cfg.SchedTimeReps = 5

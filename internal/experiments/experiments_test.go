@@ -216,7 +216,7 @@ func TestAblation(t *testing.T) {
 func TestCompareModels(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SchedTimeReps = 1
-	res, err := CompareModels(cfg, []*machine.Model{machine.NewMPC7410(), machine.NewScalar603()})
+	res, err := CompareModels(cfg, []*machine.Model{machine.Default().Model, machine.MustByName("scalar603").Model})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCrossTargetsMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects suite 1 per target")
+	}
+	names := []string{"mpc7410", "test-narrow"}
+	res, err := CrossTargets(Config{Jobs: 2}, names, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Targets, names) || res.Threshold != 20 {
+		t.Fatalf("bad header: %+v", res)
+	}
+	if len(res.Cells) != 2 || len(res.Cells[0]) != 2 || len(res.LS) != 2 || len(res.TransferLoss) != 2 {
+		t.Fatalf("matrix not 2x2: %+v", res)
+	}
+	for ai := range res.Cells {
+		for bi, c := range res.Cells[ai] {
+			// Predicted-time ratios are percentages of NS: a filter can
+			// only choose between the NS and LS estimates per block, so
+			// every ratio lies in (0, 100] and under the LS bound's own
+			// suite there is no way to beat always-scheduling.
+			if c.Ratio <= 0 || c.Ratio > 100.000001 {
+				t.Fatalf("cell [%d][%d] ratio %v outside (0, 100]", ai, bi, c.Ratio)
+			}
+			if c.Ratio < res.LS[bi]-1e-9 {
+				t.Fatalf("cell [%d][%d] ratio %v beats the LS bound %v", ai, bi, c.Ratio, res.LS[bi])
+			}
+		}
+		if res.TransferLoss[ai][ai] != 0 {
+			t.Fatalf("diagonal transfer loss %v != 0", res.TransferLoss[ai][ai])
+		}
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCrossTargetsUnknownTarget(t *testing.T) {
+	if _, err := CrossTargets(Config{}, []string{"vax"}, 0); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestCrossTargetsDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects suite 1 per target twice")
+	}
+	names := []string{"mpc7410", "test-narrow"}
+	serial, err := CrossTargets(Config{Jobs: 1}, names, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CrossTargets(Config{Jobs: 4}, names, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("transfer matrix differs between -j 1 and -j 4")
+	}
+}

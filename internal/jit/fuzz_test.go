@@ -185,7 +185,7 @@ func TestFuzzPipelineDifferential(t *testing.T) {
 	if testing.Short() {
 		trials = 25
 	}
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for seed := int64(0); seed < int64(trials); seed++ {
 		src := generateProgram(seed)
 		mod, err := jolt.CompileWithOptions(src, jolt.Options{UnrollFactor: int(seed % 5)})
@@ -273,7 +273,7 @@ func TestPeepholeShrinksAndPreserves(t *testing.T) {
 // TestPeepholeOnScheduledWorkload drives the pass through a real workload
 // with scheduling on top.
 func TestPeepholeOnScheduledWorkload(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	src := programs["sort"]
 	mod, err := jolt.Compile(src)
 	if err != nil {

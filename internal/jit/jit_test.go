@@ -193,7 +193,7 @@ func TestDifferentialInline(t *testing.T) {
 // TestDifferentialScheduled checks that list scheduling every block (and
 // filtered scheduling) preserves program behaviour end to end.
 func TestDifferentialScheduled(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for name, src := range programs {
 		t.Run(name, func(t *testing.T) {
 			mod, prog := compileBoth(t, src, DefaultOptions())
@@ -211,7 +211,7 @@ func TestDifferentialScheduled(t *testing.T) {
 // executes identically to the functional mode.
 func TestTimedRunsProduceCycles(t *testing.T) {
 	mod, prog := compileBoth(t, programs["sort"], DefaultOptions())
-	res, err := sim.Run(prog, sim.Config{Timed: true, Model: machine.NewMPC7410()})
+	res, err := sim.Run(prog, sim.Config{Timed: true, Model: machine.Default().Model})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestTimedRunsProduceCycles(t *testing.T) {
 // TestSchedulingReducesCycles: on FP-heavy code, scheduling every block
 // should not make the program slower overall (and usually speeds it up).
 func TestSchedulingDoesNotSlowDown(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	src := programs["floats"]
 	_, ns := compileBoth(t, src, DefaultOptions())
 	_, ls := compileBoth(t, src, DefaultOptions())

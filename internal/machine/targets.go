@@ -1,0 +1,246 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"schedfilter/internal/ir"
+)
+
+// Target binds a stable, lowercase name to an immutable machine model.
+// Targets are the unit of machine identity everywhere above this package:
+// the scheduler and simulator take a target's model, induced filters
+// record the target they were trained for, the compile server keys its
+// per-machine caches by target name, and the cross-target experiment
+// trains on one target and evaluates on another.
+//
+// A registered target's Model must never be mutated; code that wants a
+// variant (ablations, custom latency tables) must Clone it first.
+type Target struct {
+	// Name is the registry key (e.g. "mpc7410"); lowercase by convention.
+	Name string
+	// Description is a one-line summary for listings and -h output.
+	Description string
+	// Model is the shared, immutable timing model.
+	Model *Model
+}
+
+// DefaultTargetName is the target the whole reproduction defaults to:
+// the paper's MPC7410 simplified machine simulator.
+const DefaultTargetName = "mpc7410"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Target{}
+	regOrder []string
+)
+
+// Register adds a target to the registry after validating its model.
+// Registering an empty name, a duplicate name, a nil model, or a model
+// that fails Validate is an error.
+func Register(t Target) error {
+	if t.Name == "" {
+		return fmt.Errorf("machine: register: empty target name")
+	}
+	if t.Model == nil {
+		return fmt.Errorf("machine: register %q: nil model", t.Name)
+	}
+	if err := t.Model.Validate(); err != nil {
+		return fmt.Errorf("machine: register %q: %w", t.Name, err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t.Name]; dup {
+		return fmt.Errorf("machine: register %q: already registered", t.Name)
+	}
+	cp := t
+	registry[t.Name] = &cp
+	regOrder = append(regOrder, t.Name)
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for package init blocks.
+func MustRegister(t Target) {
+	if err := Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// ByName returns the named target, or an error naming the known targets.
+func ByName(name string) (*Target, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for n := range registry {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("machine: unknown target %q (known: %v)", name, known)
+	}
+	return t, nil
+}
+
+// MustByName is ByName, panicking on unknown names; for tests and init
+// paths where the name is a compile-time constant.
+func MustByName(name string) *Target {
+	t, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Default returns the default target (DefaultTargetName).
+func Default() *Target { return MustByName(DefaultTargetName) }
+
+// All returns every registered target in registration order (the default
+// target first, then the built-in alternates, then anything registered
+// later). The returned slice is fresh; the Targets it points at are the
+// registry's own.
+func All() []*Target {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Target, 0, len(regOrder))
+	for _, n := range regOrder {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// TargetNameFor maps a model back to the name of the target it belongs
+// to, matching by registry identity first and display name second (the
+// display name is what fingerprints already hash). Unregistered custom
+// models map to their own display name, so labels stay meaningful for
+// ablation variants.
+func TargetNameFor(m *Model) string {
+	if m == nil {
+		return ""
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, n := range regOrder {
+		if registry[n].Model == m {
+			return n
+		}
+	}
+	for _, n := range regOrder {
+		if registry[n].Model.Name == m.Name {
+			return n
+		}
+	}
+	return m.Name
+}
+
+// Validate checks that the model is usable by the scheduler and both
+// simulators: issue widths at least one (the branch slot included — the
+// issue logic assumes branches always have somewhere to go), every
+// opcode's latency at least one cycle, and every opcode mapped to at
+// least one functional unit (NOP, which executes nowhere, excepted).
+// Registration runs it so a broken model is caught at construction, not
+// mid-schedule.
+func (m *Model) Validate() error {
+	if m.IssueWidth < 1 {
+		return fmt.Errorf("model %s: issue width %d < 1", m.Name, m.IssueWidth)
+	}
+	if m.BranchPerCycle < 1 {
+		return fmt.Errorf("model %s: branch issue width %d < 1", m.Name, m.BranchPerCycle)
+	}
+	if m.TakenBranchBubble < 0 {
+		return fmt.Errorf("model %s: negative taken-branch bubble %d", m.Name, m.TakenBranchBubble)
+	}
+	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+		if m.Timing[op].Latency < 1 {
+			return fmt.Errorf("model %s: %v latency %d < 1", m.Name, op, m.Timing[op].Latency)
+		}
+		if op != ir.NOP && len(m.UnitsFor(op)) == 0 {
+			return fmt.Errorf("model %s: %v has no functional unit", m.Name, op)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep, independently mutable copy of the model. Use it
+// to derive ablation or experiment variants from a registered target
+// without touching the shared instance.
+func (m *Model) Clone() *Model {
+	cp := *m
+	return &cp
+}
+
+// NewScalar1 returns a strictly single-issue in-order core with the
+// MPC7410 latency table: one non-branch instruction per cycle plus the
+// branch slot, and a deeper taken-branch penalty. It isolates the effect
+// of issue width on the should-we-schedule question — unlike Scalar603 it
+// changes no latencies, so differences against mpc7410 come from issue
+// bandwidth alone.
+func NewScalar1() *Model {
+	m := NewMPC7410()
+	m.Name = "Scalar1"
+	m.IssueWidth = 1
+	m.BranchPerCycle = 1
+	m.TakenBranchBubble = 2
+	return m
+}
+
+// NewWide4 returns a 4-wide superscalar variant of the MPC7410 model:
+// four non-branch issues per cycle. Wider issue hides more of a bad
+// static order on its own, so scheduling should buy less — the transfer
+// matrix quantifies whether a filter trained on the narrow machine still
+// makes the right calls here.
+func NewWide4() *Model {
+	m := NewMPC7410()
+	m.Name = "Wide4"
+	m.IssueWidth = 4
+	m.BranchPerCycle = 1
+	m.TakenBranchBubble = 1
+	return m
+}
+
+// NewTestNarrow returns the scaled-down model the test suites share: a
+// single-issue machine with every latency clamped to at most three
+// cycles, so unit tests that only need "a different, narrower machine"
+// get one from the registry instead of hand-editing timing tables.
+func NewTestNarrow() *Model {
+	m := NewMPC7410()
+	m.Name = "TestNarrow"
+	m.IssueWidth = 1
+	m.BranchPerCycle = 1
+	m.TakenBranchBubble = 1
+	for op := range m.Timing {
+		if m.Timing[op].Latency > 3 {
+			m.Timing[op].Latency = 3
+		}
+	}
+	return m
+}
+
+func init() {
+	MustRegister(Target{
+		Name:        DefaultTargetName,
+		Description: "MPC7410-like dual-issue PowerPC (the paper's simplified machine simulator)",
+		Model:       NewMPC7410(),
+	})
+	MustRegister(Target{
+		Name:        "scalar603",
+		Description: "PowerPC-603-era scalar core: single issue, slower loads, unpipelined FPU",
+		Model:       NewScalar603(),
+	})
+	MustRegister(Target{
+		Name:        "scalar1",
+		Description: "single-issue in-order core with MPC7410 latencies (issue-width ablation)",
+		Model:       NewScalar1(),
+	})
+	MustRegister(Target{
+		Name:        "wide4",
+		Description: "4-wide superscalar variant of the MPC7410 model",
+		Model:       NewWide4(),
+	})
+	MustRegister(Target{
+		Name:        "test-narrow",
+		Description: "scaled-down single-issue model with clamped latencies (for tests)",
+		Model:       NewTestNarrow(),
+	})
+}

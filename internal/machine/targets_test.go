@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"schedfilter/internal/ir"
+)
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{"mpc7410", "scalar603", "scalar1", "wide4", "test-narrow"} {
+		tgt, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if tgt.Model == nil || tgt.Description == "" {
+			t.Fatalf("target %q incomplete: %+v", name, tgt)
+		}
+	}
+	if Default().Name != DefaultTargetName {
+		t.Fatalf("Default() = %q, want %q", Default().Name, DefaultTargetName)
+	}
+}
+
+func TestAllOrderedDefaultFirst(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("All() returned %d targets, want >= 5", len(all))
+	}
+	if all[0].Name != DefaultTargetName {
+		t.Fatalf("All()[0] = %q, want the default target first", all[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, tgt := range all {
+		if seen[tgt.Name] {
+			t.Fatalf("duplicate target %q in All()", tgt.Name)
+		}
+		seen[tgt.Name] = true
+	}
+}
+
+func TestByNameUnknownNamesKnownTargets(t *testing.T) {
+	_, err := ByName("pdp11")
+	if err == nil {
+		t.Fatal("ByName(pdp11) succeeded")
+	}
+	if !strings.Contains(err.Error(), "mpc7410") {
+		t.Fatalf("unknown-target error should list known targets, got: %v", err)
+	}
+}
+
+func TestRegisterRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tgt  Target
+		want string
+	}{
+		{"empty name", Target{Model: NewMPC7410()}, "empty target name"},
+		{"nil model", Target{Name: "x-nil"}, "nil model"},
+		{"duplicate", Target{Name: DefaultTargetName, Model: NewMPC7410()}, "already registered"},
+		{"zero issue width", Target{Name: "x-w0", Model: func() *Model {
+			m := NewMPC7410()
+			m.IssueWidth = 0
+			return m
+		}()}, "issue width 0"},
+		{"zero branch width", Target{Name: "x-b0", Model: func() *Model {
+			m := NewMPC7410()
+			m.BranchPerCycle = 0
+			return m
+		}()}, "branch issue width 0"},
+		{"zero latency", Target{Name: "x-l0", Model: func() *Model {
+			m := NewMPC7410()
+			m.Timing[ir.ADD].Latency = 0
+			return m
+		}()}, "latency 0"},
+		{"negative bubble", Target{Name: "x-bb", Model: func() *Model {
+			m := NewMPC7410()
+			m.TakenBranchBubble = -1
+			return m
+		}()}, "taken-branch bubble"},
+	}
+	for _, c := range cases {
+		err := Register(c.tgt)
+		if err == nil {
+			t.Errorf("%s: Register succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsBuiltins(t *testing.T) {
+	for _, tgt := range All() {
+		if err := tgt.Model.Validate(); err != nil {
+			t.Errorf("%s: %v", tgt.Name, err)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	orig := MustByName(DefaultTargetName).Model
+	cp := orig.Clone()
+	cp.IssueWidth = 7
+	cp.Timing[ir.ADD].Latency = 9
+	if orig.IssueWidth == 7 || orig.Timing[ir.ADD].Latency == 9 {
+		t.Fatal("Clone shares state with the registered model")
+	}
+}
+
+func TestTargetNameFor(t *testing.T) {
+	if got := TargetNameFor(Default().Model); got != DefaultTargetName {
+		t.Fatalf("TargetNameFor(default model) = %q", got)
+	}
+	// A clone matches by display name, so derived-but-unrenamed models
+	// still label as their source target.
+	if got := TargetNameFor(Default().Model.Clone()); got != DefaultTargetName {
+		t.Fatalf("TargetNameFor(clone) = %q", got)
+	}
+	custom := NewMPC7410()
+	custom.Name = "Custom99"
+	if got := TargetNameFor(custom); got != "Custom99" {
+		t.Fatalf("TargetNameFor(custom) = %q", got)
+	}
+	if got := TargetNameFor(nil); got != "" {
+		t.Fatalf("TargetNameFor(nil) = %q", got)
+	}
+}
+
+func TestTestNarrowIsNarrowAndFast(t *testing.T) {
+	m := MustByName("test-narrow").Model
+	if m.IssueWidth != 1 {
+		t.Fatalf("test-narrow issue width %d, want 1", m.IssueWidth)
+	}
+	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+		if l := m.Timing[op].Latency; l < 1 || l > 3 {
+			t.Fatalf("test-narrow %v latency %d outside [1,3]", op, l)
+		}
+	}
+}
+
+func TestBuiltinTargetModelsDiffer(t *testing.T) {
+	// Distinct registered targets must present distinct display names:
+	// the content-addressed cache separates machines by Model.Name.
+	names := map[string]string{}
+	for _, tgt := range All() {
+		if prev, dup := names[tgt.Model.Name]; dup {
+			t.Fatalf("targets %q and %q share model name %q", prev, tgt.Name, tgt.Model.Name)
+		}
+		names[tgt.Model.Name] = tgt.Name
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"schedfilter/internal/machine"
 )
 
-func model() *machine.Model { return machine.NewMPC7410() }
+func model() *machine.Model { return machine.Default().Model }
 
 func add(d, a, b int) ir.Instr {
 	return ir.Instr{Op: ir.ADD, Defs: []ir.Reg{ir.GPR(d)}, Uses: []ir.Reg{ir.GPR(a), ir.GPR(b)}}

@@ -25,7 +25,7 @@ func corpus(seed int64, n int) [][]ir.Instr {
 // scheduling through a reused scratch produces bit-identical results to
 // freshly allocated working memory, block after block, across models.
 func TestScratchEquivalence(t *testing.T) {
-	for _, m := range []*machine.Model{machine.NewMPC7410(), machine.NewScalar603()} {
+	for _, m := range []*machine.Model{machine.Default().Model, machine.MustByName("scalar603").Model} {
 		s := NewScratch()
 		for bi, instrs := range corpus(11, 64) {
 			want := ScheduleInstrsUnpooled(m, instrs)
@@ -47,7 +47,7 @@ func TestScratchEquivalence(t *testing.T) {
 // TestScratchModelSwitch exercises the issue-state rebuild when one
 // scratch alternates between machine models.
 func TestScratchModelSwitch(t *testing.T) {
-	m1, m2 := machine.NewMPC7410(), machine.NewScalar603()
+	m1, m2 := machine.Default().Model, machine.MustByName("scalar603").Model
 	s := NewScratch()
 	for _, instrs := range corpus(13, 16) {
 		a := ScheduleInstrsScratch(m1, instrs, s)
@@ -69,7 +69,7 @@ func TestScheduleInstrsAllocs(t *testing.T) {
 	if testing.CoverMode() != "" {
 		t.Skip("coverage instrumentation allocates")
 	}
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	blocks := corpus(7, 16)
 	s := NewScratch()
 	run := func() {
@@ -100,7 +100,7 @@ func TestScheduleInstrsAllocs(t *testing.T) {
 // BenchmarkScheduleInstrs measures the pooled production path (the CI
 // bench smoke runs this; see docs/perf.md for the benchstat workflow).
 func BenchmarkScheduleInstrs(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	blocks := corpus(3, 64)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -112,7 +112,7 @@ func BenchmarkScheduleInstrs(b *testing.B) {
 // BenchmarkScheduleInstrsUnpooled measures the pre-pooling reference path
 // for before/after comparison.
 func BenchmarkScheduleInstrsUnpooled(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	blocks := corpus(3, 64)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -5,14 +5,20 @@ package server
 // workload), plus an optional filter selector. Errors come back as
 // ErrorResponse with a non-2xx status.
 
-// ProgramInput names the code a request operates on: inline Jolt source,
-// or one of the bundled benchmark workloads.
+// ProgramInput names the code a request operates on — inline Jolt source
+// or one of the bundled benchmark workloads — and the machine target it
+// is compiled for.
 type ProgramInput struct {
 	// Source is a complete Jolt program.
 	Source string `json:"source,omitempty"`
 	// Workload is the name of a bundled benchmark (e.g. "compress");
 	// mutually exclusive with Source.
 	Workload string `json:"workload,omitempty"`
+	// Target names the machine target (registry name, e.g. "wide4") to
+	// schedule and execute for; empty selects the server's default.
+	// Unknown names are rejected with 400. Each target is served by its
+	// own immutable model and its own scheduled-block cache.
+	Target string `json:"target,omitempty"`
 }
 
 // FilterSpec selects the scheduling filter for a request.
@@ -59,7 +65,9 @@ type ScheduleRequest struct {
 
 // ScheduleResponse reports a scheduling pass.
 type ScheduleResponse struct {
-	Filter       string `json:"filter"`
+	Filter string `json:"filter"`
+	// Target is the machine target the pass scheduled for.
+	Target       string `json:"target"`
 	Blocks       int    `json:"blocks"`
 	Scheduled    int    `json:"scheduled"`
 	NotScheduled int    `json:"not_scheduled"`
@@ -115,7 +123,9 @@ type ExecuteRequest struct {
 
 // ExecuteResponse reports a simulated run.
 type ExecuteResponse struct {
-	Filter    string   `json:"filter"`
+	Filter string `json:"filter"`
+	// Target is the machine target the run was scheduled and timed for.
+	Target    string   `json:"target"`
 	Ret       int64    `json:"ret"`
 	Cycles    int64    `json:"cycles,omitempty"`
 	DynInstrs int64    `json:"dyn_instrs"`
@@ -133,5 +143,9 @@ type ExecuteResponse struct {
 type HealthResponse struct {
 	Status string `json:"status"`
 	Filter string `json:"filter"`
-	Model  string `json:"model"`
+	// Model and Target describe the default machine target; Targets
+	// lists every servable target name.
+	Model   string   `json:"model"`
+	Target  string   `json:"target"`
+	Targets []string `json:"targets"`
 }

@@ -43,8 +43,11 @@ const maxBody = 8 << 20
 
 // Config parameterizes the service.
 type Config struct {
-	// Model is the machine timing model; nil selects the MPC7410.
-	Model *schedfilter.Machine
+	// Target names the default machine target for requests that don't
+	// select one; empty selects the registry default (mpc7410). Every
+	// registered target is served either way — this only picks which one
+	// an unadorned request gets.
+	Target string
 	// Filter is the default scheduling filter for requests that don't
 	// select one; nil selects LS (always schedule).
 	Filter schedfilter.Filter
@@ -61,8 +64,8 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Model == nil {
-		c.Model = schedfilter.NewMachine()
+	if c.Target == "" {
+		c.Target = schedfilter.DefaultTargetName
 	}
 	if c.Filter == nil {
 		c.Filter = schedfilter.AlwaysSchedule
@@ -82,25 +85,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// machineTarget is one servable machine: the registered target's
+// immutable model, held for the server's whole lifetime, plus its own
+// content-addressed scheduled-block cache. Caches are per target so one
+// machine's traffic can never evict another's hot blocks.
+type machineTarget struct {
+	name  string
+	model *schedfilter.Machine
+	cache *schedfilter.ScheduleCache
+}
+
 // Server is one compile-service instance. Create with New, serve its
 // Handler, and Close it to drain in-flight compilations on shutdown.
 type Server struct {
 	cfg     Config
-	cache   *schedfilter.ScheduleCache
+	targets map[string]*machineTarget
+	order   []string // target names in registry order, for stable output
+	def     *machineTarget
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
 }
 
-// New builds a server. The worker pool starts immediately.
+// New builds a server. Every registered machine target is servable; the
+// worker pool starts immediately. Panics on a Config.Target that names no
+// registered target — that is a deployment error, not a request error.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   schedfilter.NewScheduleCache(cfg.CacheWeight),
+		targets: map[string]*machineTarget{},
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics("compile", "schedule", "predict", "execute"),
 	}
+	for _, tgt := range schedfilter.Targets() {
+		s.targets[tgt.Name] = &machineTarget{
+			name:  tgt.Name,
+			model: tgt.Model,
+			cache: schedfilter.NewScheduleCache(cfg.CacheWeight),
+		}
+		s.order = append(s.order, tgt.Name)
+	}
+	def, ok := s.targets[cfg.Target]
+	if !ok {
+		panic(fmt.Sprintf("server: default target %q is not registered", cfg.Target))
+	}
+	s.def = def
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.endpoint("compile", s.doCompile))
 	mux.HandleFunc("POST /v1/schedule", s.endpoint("schedule", s.doSchedule))
@@ -120,8 +150,32 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Cache exposes the scheduled-block cache (for stats and tests).
-func (s *Server) Cache() *schedfilter.ScheduleCache { return s.cache }
+// Cache exposes the default target's scheduled-block cache (for stats
+// and tests); CacheFor exposes any target's.
+func (s *Server) Cache() *schedfilter.ScheduleCache { return s.def.cache }
+
+// CacheFor returns the named target's scheduled-block cache, or nil for
+// an unknown target.
+func (s *Server) CacheFor(target string) *schedfilter.ScheduleCache {
+	if mt, ok := s.targets[target]; ok {
+		return mt.cache
+	}
+	return nil
+}
+
+// resolveTarget picks the request's machine target: the server default
+// for an empty name, otherwise a registered target. Unknown names are a
+// client fault.
+func (s *Server) resolveTarget(name string) (*machineTarget, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return s.def, nil
+	}
+	if mt, ok := s.targets[name]; ok {
+		return mt, nil
+	}
+	return nil, fmt.Errorf("unknown target %q (known: %s)", name, strings.Join(s.order, ", "))
+}
 
 // Close drains the worker pool: queued and in-flight compilations finish,
 // new submissions are rejected with 503. Call after the HTTP listener has
@@ -177,9 +231,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(HealthResponse{
-		Status: "ok",
-		Filter: s.cfg.Filter.Name(),
-		Model:  s.cfg.Model.Name,
+		Status:  "ok",
+		Filter:  s.cfg.Filter.Name(),
+		Model:   s.def.model.Name,
+		Target:  s.def.name,
+		Targets: append([]string(nil), s.order...),
 	})
 }
 
@@ -241,6 +297,11 @@ func (s *Server) doCompile(body []byte) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
 	}
+	// compile needs no machine, but an unknown target is still a bad
+	// request — catch it here rather than on the follow-up schedule.
+	if _, err := s.resolveTarget(req.Target); err != nil {
+		return nil, err
+	}
 	prog, compileT, err := s.compileInput(req.ProgramInput)
 	if err != nil {
 		return nil, err
@@ -257,14 +318,15 @@ func (s *Server) doCompile(body []byte) (any, error) {
 	return resp, nil
 }
 
-// schedulePass runs the filter-gated scheduling pass for a request and
-// feeds the pass totals into the server metrics.
-func (s *Server) schedulePass(prog *schedfilter.Program, f schedfilter.Filter, noCache bool) schedfilter.ScheduleStats {
-	cache := s.cache
+// schedulePass runs the filter-gated scheduling pass for a request on
+// the resolved target's machine and cache, and feeds the pass totals
+// into the server metrics.
+func (s *Server) schedulePass(prog *schedfilter.Program, f schedfilter.Filter, mt *machineTarget, noCache bool) schedfilter.ScheduleStats {
+	cache := mt.cache
 	if noCache {
 		cache = nil
 	}
-	st := schedfilter.ScheduleWithCache(s.cfg.Model, prog, f, cache)
+	st := schedfilter.ScheduleWithCache(mt.model, prog, f, cache)
 	runs := st.CacheMisses
 	if noCache {
 		runs = st.Scheduled
@@ -286,14 +348,19 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	mt, err := s.resolveTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
 	prog, compileT, err := s.compileInput(req.ProgramInput)
 	if err != nil {
 		return nil, err
 	}
-	st := s.schedulePass(prog, f, req.NoCache)
-	key := schedfilter.FingerprintProgram(s.cfg.Model, f.Name(), prog)
+	st := s.schedulePass(prog, f, mt, req.NoCache)
+	key := schedfilter.FingerprintProgram(mt.model, f.Name(), prog)
 	return ScheduleResponse{
 		Filter:       f.Name(),
+		Target:       mt.name,
 		Blocks:       st.Blocks,
 		Scheduled:    st.Scheduled,
 		NotScheduled: st.NotScheduled,
@@ -315,6 +382,11 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	}
 	f, err := s.resolveFilter(req.FilterSpec)
 	if err != nil {
+		return nil, err
+	}
+	// Prediction reads only target-independent features, but an unknown
+	// target name is still a client fault.
+	if _, err := s.resolveTarget(req.Target); err != nil {
 		return nil, err
 	}
 	prog, _, err := s.compileInput(req.ProgramInput)
@@ -352,18 +424,23 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	mt, err := s.resolveTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
 	prog, compileT, err := s.compileInput(req.ProgramInput)
 	if err != nil {
 		return nil, err
 	}
-	st := s.schedulePass(prog, f, false)
+	st := s.schedulePass(prog, f, mt, false)
 	simStart := time.Now()
-	res, err := schedfilter.Execute(prog, s.cfg.Model, !req.Untimed)
+	res, err := schedfilter.Execute(prog, mt.model, !req.Untimed)
 	if err != nil {
 		return nil, err
 	}
 	return ExecuteResponse{
 		Filter:      f.Name(),
+		Target:      mt.name,
 		Ret:         res.Ret,
 		Cycles:      res.Cycles,
 		DynInstrs:   res.DynInstrs,

@@ -268,6 +268,103 @@ func TestHealthz(t *testing.T) {
 	if h.Status != "ok" || h.Model == "" || h.Filter == "" {
 		t.Fatalf("bad health: %+v", h)
 	}
+	if h.Target != "mpc7410" || len(h.Targets) < 3 {
+		t.Fatalf("health should name the default target and list all: %+v", h)
+	}
+}
+
+func TestScheduleSelectsTarget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	def := ScheduleRequest{ProgramInput: ProgramInput{Source: testSource}}
+	wide := ScheduleRequest{ProgramInput: ProgramInput{Source: testSource, Target: "wide4"}}
+
+	code, d := post[ScheduleResponse](t, ts.URL+"/v1/schedule", def)
+	if code != 200 || d.Target != "mpc7410" {
+		t.Fatalf("default schedule: status %d, target %q", code, d.Target)
+	}
+	code, w := post[ScheduleResponse](t, ts.URL+"/v1/schedule", wide)
+	if code != 200 || w.Target != "wide4" {
+		t.Fatalf("wide4 schedule: status %d, target %q", code, w.Target)
+	}
+	if w.ProgramKey == d.ProgramKey {
+		t.Fatal("different targets produced the same program fingerprint")
+	}
+	// The machine models genuinely differ: the 4-wide issue estimates the
+	// same code as at least as cheap as the dual-issue default.
+	if w.CostAfter > d.CostAfter {
+		t.Fatalf("wide4 cost %d > mpc7410 cost %d", w.CostAfter, d.CostAfter)
+	}
+}
+
+func TestTargetsHaveIsolatedCaches(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := func(target string) ScheduleRequest {
+		return ScheduleRequest{ProgramInput: ProgramInput{Source: testSource, Target: target}}
+	}
+	// Warm the default target's cache.
+	post[ScheduleResponse](t, ts.URL+"/v1/schedule", req(""))
+	// The first wide4 request must still be a cold miss: its cache is its
+	// own, not the default target's.
+	code, w := post[ScheduleResponse](t, ts.URL+"/v1/schedule", req("wide4"))
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if w.CacheMisses == 0 {
+		t.Fatalf("wide4 request hit another target's cache: %+v", w)
+	}
+	if s.CacheFor("wide4") == nil || s.CacheFor("mpc7410") == nil {
+		t.Fatal("CacheFor lost a registered target")
+	}
+	if s.CacheFor("wide4") == s.CacheFor("mpc7410") {
+		t.Fatal("targets share one cache instance")
+	}
+	if s.CacheFor("nope") != nil {
+		t.Fatal("CacheFor(nope) returned a cache")
+	}
+	// Per-target metrics expose both caches' traffic.
+	if v := scrape(t, ts.URL, `codecache_target_misses_total{target="wide4"}`); v == 0 {
+		t.Fatal("wide4 cache misses not visible in /metrics")
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"compile", "schedule", "predict", "execute"} {
+		code, resp := post[ErrorResponse](t, ts.URL+"/v1/"+path, ScheduleRequest{
+			ProgramInput: ProgramInput{Source: testSource, Target: "z80"},
+		})
+		if code != 400 {
+			t.Errorf("%s: status %d for unknown target, want 400", path, code)
+		}
+		if !strings.Contains(resp.Error, "z80") || !strings.Contains(resp.Error, "mpc7410") {
+			t.Errorf("%s: error should name the bad and known targets: %q", path, resp.Error)
+		}
+	}
+}
+
+func TestExecuteTargetChangesCycles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	run := func(target string) ExecuteResponse {
+		code, r := post[ExecuteResponse](t, ts.URL+"/v1/execute", ExecuteRequest{
+			ProgramInput: ProgramInput{Source: testSource, Target: target},
+			FilterSpec:   FilterSpec{Filter: "LS"},
+		})
+		if code != 200 {
+			t.Fatalf("execute on %q: status %d", target, code)
+		}
+		return r
+	}
+	def := run("")
+	narrow := run("scalar1")
+	if def.Ret != narrow.Ret {
+		t.Fatalf("functional result depends on target: %d vs %d", def.Ret, narrow.Ret)
+	}
+	if narrow.Cycles < def.Cycles {
+		t.Fatalf("single-issue scalar1 ran faster (%d) than dual-issue default (%d)", narrow.Cycles, def.Cycles)
+	}
+	if def.Target != "mpc7410" || narrow.Target != "scalar1" {
+		t.Fatalf("responses mislabel targets: %q, %q", def.Target, narrow.Target)
+	}
 }
 
 func TestMethodRouting(t *testing.T) {
@@ -288,12 +385,22 @@ func TestMethodRouting(t *testing.T) {
 func TestBackpressure429(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	gate := make(chan struct{})
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	// If an assertion below fails, the blocked jobs must still be released
+	// or the server's own cleanup deadlocks in pool.Close. Cleanups run
+	// LIFO, so this fires before newTestServer's Server.Close.
+	t.Cleanup(openGate)
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ { // one running, one queued
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = s.pool.Do(context.Background(), func() { <-gate })
+			// Do is fail-fast: until the worker dequeues the first job, the
+			// queue is full and a second submission bounces with ErrBusy.
+			for s.pool.Do(context.Background(), func() { <-gate }) == ErrBusy {
+				time.Sleep(time.Millisecond)
+			}
 		}()
 	}
 	waitFor(t, func() bool { return s.pool.Inflight() == 1 && s.pool.QueueDepth() == 1 })
@@ -307,7 +414,7 @@ func TestBackpressure429(t *testing.T) {
 	if resp.Error == "" {
 		t.Fatal("429 without an error body")
 	}
-	close(gate)
+	openGate()
 	wg.Wait()
 	if rejected := scrape(t, ts.URL, `schedserved_requests_total{endpoint="schedule",outcome="rejected"}`); rejected != 1 {
 		t.Fatalf("rejected counter = %d, want 1", rejected)

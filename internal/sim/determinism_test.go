@@ -38,7 +38,7 @@ func compileWorkload(t *testing.T, name string) *ir.Program {
 }
 
 func TestTimedRunsDeterministic(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for _, name := range []string{"compress", "scimark"} {
 		prog := compileWorkload(t, name)
 		first, err := sim.Run(prog, sim.Config{Timed: true, Model: m})
@@ -66,14 +66,14 @@ func TestTimedRunsDeterministic(t *testing.T) {
 
 func TestSampleEveryRequiresHook(t *testing.T) {
 	prog := compileWorkload(t, "compress")
-	_, err := sim.Run(prog, sim.Config{Timed: true, Model: machine.NewMPC7410(), SampleEvery: 1000})
+	_, err := sim.Run(prog, sim.Config{Timed: true, Model: machine.Default().Model, SampleEvery: 1000})
 	if err == nil {
 		t.Fatal("SampleEvery without OnSample should be rejected")
 	}
 }
 
 func TestSamplingSnapshots(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	prog := compileWorkload(t, "compress")
 	base, err := sim.Run(prog.Clone(), sim.Config{Timed: true, Model: m})
 	if err != nil {
@@ -117,7 +117,7 @@ func TestSamplingSnapshots(t *testing.T) {
 }
 
 func TestHotSwapAtSafePoint(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	prog := compileWorkload(t, "scimark")
 	base, err := sim.Run(prog.Clone(), sim.Config{Timed: true, Model: m})
 	if err != nil {

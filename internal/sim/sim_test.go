@@ -156,7 +156,7 @@ func TestTimedCyclesAtLeastIssueBound(t *testing.T) {
 	}
 	ins = append(ins, ir.Instr{Op: ir.BLR, Uses: []ir.Reg{ir.GPR(3)}})
 	b := &ir.Block{ID: 0, Instrs: ins}
-	res, err := Run(buildProg([]*ir.Block{b}), Config{Timed: true, Model: machine.NewMPC7410()})
+	res, err := Run(buildProg([]*ir.Block{b}), Config{Timed: true, Model: machine.Default().Model})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestTimedCyclesAtLeastIssueBound(t *testing.T) {
 // CPS-scheduled permutation from the same machine state must produce
 // identical final states (registers and memory).
 func TestSchedulingPreservesBlockSemantics(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		blk := blockgen.GenBlock(r, blockgen.DefaultConfig, 0)
@@ -199,7 +199,7 @@ func TestSchedulingPreservesBlockSemantics(t *testing.T) {
 // TestSchedulingPreservesSemanticsUnderRandomInitialState repeats the
 // property from randomized starting registers and memory.
 func TestSchedulingPreservesSemanticsUnderRandomInitialState(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		blk := blockgen.GenBlock(r, blockgen.DefaultConfig, 0)

@@ -69,7 +69,7 @@ func fingerprint(t *testing.T, p *ir.Program) (int64, int64) {
 // scheduling must preserve the program's result. Correctness may not
 // depend on profile accuracy — only performance may.
 func TestSuperblockSchedulingPreservesCFGSemantics(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for trial := 0; trial < 120; trial++ {
 		r := rand.New(rand.NewSource(int64(trial)))
 		p := genCFGFn(r, 4+r.Intn(6))
@@ -104,7 +104,7 @@ func TestSuperblockSchedulingPreservesCFGSemantics(t *testing.T) {
 // TestSuperblockSchedulingWithTruthfulProfile repeats the property with
 // the real profile from a functional run (the production configuration).
 func TestSuperblockSchedulingWithTruthfulProfile(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	for trial := 0; trial < 60; trial++ {
 		r := rand.New(rand.NewSource(int64(1000 + trial)))
 		p := genCFGFn(r, 5+r.Intn(5))

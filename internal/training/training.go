@@ -38,8 +38,11 @@ type BlockRecord struct {
 
 // BenchData is everything the evaluation needs about one benchmark.
 type BenchData struct {
-	Name    string
-	Suite   workloads.Suite
+	Name  string
+	Suite workloads.Suite
+	// Target names the machine target whose cost model produced the
+	// records' estimates (machine.TargetNameFor of the collection model).
+	Target  string
 	Records []BlockRecord
 	// Prog is the compiled (unscheduled) program; protocols clone it.
 	Prog *ir.Program
@@ -82,7 +85,7 @@ func Collect(w *workloads.Workload, m *machine.Model, opts Options) (*BenchData,
 		return nil, fmt.Errorf("%s: profiling run: %w", w.Name, err)
 	}
 
-	bd := &BenchData{Name: w.Name, Suite: w.Suite, Prog: prog}
+	bd := &BenchData{Name: w.Name, Suite: w.Suite, Target: machine.TargetNameFor(m), Prog: prog}
 	s := sched.GetScratch()
 	for fi, fn := range prog.Fns {
 		for bi, b := range fn.Blocks {
@@ -232,7 +235,22 @@ func TrainFilterCached(data []*BenchData, t int, opt ripper.Options, c *LabelCac
 		}
 	}
 	rs := ripper.Induce(ds, opt)
-	return core.NewInduced(rs, fmt.Sprintf("L/N t=%d", t))
+	return core.NewInducedFor(rs, fmt.Sprintf("L/N t=%d", t), targetOf(data))
+}
+
+// targetOf is the common machine target of the training data: the
+// benchmarks' shared target name, or "" when the set is empty or mixed
+// (a mixed set has no single provenance worth recording).
+func targetOf(data []*BenchData) string {
+	target := ""
+	for i, bd := range data {
+		if i == 0 {
+			target = bd.Target
+		} else if bd.Target != target {
+			return ""
+		}
+	}
+	return target
 }
 
 // LeaveOneOut trains a filter for the named benchmark using every OTHER

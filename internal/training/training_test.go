@@ -14,7 +14,7 @@ import (
 
 func collectSuite1(t *testing.T) []*BenchData {
 	t.Helper()
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	data, err := CollectAll(workloads.Suite1(), m, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +139,7 @@ func TestDecisionsPartition(t *testing.T) {
 }
 
 func TestCollectAllJobsMatchesSerial(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	ws := workloads.Suite1()
 	serial, err := CollectAllJobs(ws, m, DefaultOptions(), 1)
 	if err != nil {
@@ -266,7 +266,7 @@ func TestCSVRejectsGarbage(t *testing.T) {
 // compile, profile, and schedule every block experimentally on the pooled
 // scheduler path.
 func BenchmarkCollect(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	w := workloads.ByName("compress")
 	opts := DefaultOptions()
 	b.ResetTimer()
@@ -280,7 +280,7 @@ func BenchmarkCollect(b *testing.B) {
 // BenchmarkCollectAllParallel measures suite-1 collection fanned across
 // GOMAXPROCS workers (the CollectAll default).
 func BenchmarkCollectAllParallel(b *testing.B) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	ws := workloads.Suite1()
 	opts := DefaultOptions()
 	b.ResetTimer()
@@ -292,7 +292,7 @@ func BenchmarkCollectAllParallel(b *testing.B) {
 }
 
 func TestCollectSuperblockData(t *testing.T) {
-	m := machine.NewMPC7410()
+	m := machine.Default().Model
 	w := workloads.ByName("scimark")
 	td, err := CollectSuperblockData(w, m, DefaultOptions())
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 // unrolling): interpreter, compiled code, and fully scheduled compiled
 // code must all still produce the golden checksums.
 func TestWorkloadsUnrolledDifferential(t *testing.T) {
-	model := machine.NewMPC7410()
+	model := machine.Default().Model
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -83,7 +83,7 @@ func TestUnrollingGrowsBlockPopulation(t *testing.T) {
 // golden checksum — tail duplication, cross-branch code motion, and the
 // re-split all preserve semantics.
 func TestWorkloadsSuperblockDifferential(t *testing.T) {
-	model := machine.NewMPC7410()
+	model := machine.Default().Model
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {

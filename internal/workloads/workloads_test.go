@@ -65,7 +65,7 @@ func TestWorkloadsDeterministic(t *testing.T) {
 // fully scheduled compiled code must agree on the checksum and printed
 // output.
 func TestWorkloadsDifferential(t *testing.T) {
-	model := machine.NewMPC7410()
+	model := machine.Default().Model
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {

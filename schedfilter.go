@@ -125,6 +125,10 @@ type (
 	CacheStats = codecache.Stats
 	// CacheKey is a 256-bit content fingerprint of a block or program.
 	CacheKey = codecache.Key
+	// Target is a named, immutable machine model from the target
+	// registry. Every layer that needs a machine resolves one of these;
+	// the registered Model must not be mutated (Clone it for variants).
+	Target = machine.Target
 )
 
 // Fixed protocols (the paper's baselines).
@@ -138,9 +142,24 @@ var (
 // FeatureNames lists the Table-1 feature names in vector order.
 var FeatureNames = features.Names[:]
 
-// NewMachine returns the MPC7410-flavoured timing model used throughout
-// the reproduction.
-func NewMachine() *Machine { return machine.NewMPC7410() }
+// DefaultTargetName is the registry name of the default machine target
+// (the paper's MPC7410 simplified machine simulator).
+const DefaultTargetName = machine.DefaultTargetName
+
+// Targets lists every registered machine target, default first.
+func Targets() []*Target { return machine.All() }
+
+// TargetByName resolves a registered machine target; the error for an
+// unknown name lists the known targets.
+func TargetByName(name string) (*Target, error) { return machine.ByName(name) }
+
+// DefaultTarget returns the default machine target (DefaultTargetName).
+func DefaultTarget() *Target { return machine.Default() }
+
+// NewMachine returns a fresh, mutable copy of the default target's
+// MPC7410-flavoured timing model. Code that only reads the model can use
+// DefaultTarget().Model directly and skip the copy.
+func NewMachine() *Machine { return machine.Default().Model.Clone() }
 
 // DefaultJITOptions mirror the paper's OptOpt configuration (aggressive
 // inlining: callee <= 30, depth <= 6, expansion <= 7x).
@@ -241,32 +260,46 @@ func ParseRuleSet(text string) (*RuleSet, error) {
 // blocks of at least minLen instructions.
 func SizeFilter(minLen int) Filter { return core.SizeThreshold{MinLen: minLen} }
 
-// filterHeader marks the label line of a persisted model file.
-const filterHeader = "# filter:"
+// filterHeader marks the label line of a persisted model file;
+// targetHeader records the machine target the filter was trained for.
+const (
+	filterHeader = "# filter:"
+	targetHeader = "# target:"
+)
 
 // FormatFilter renders an induced filter as persistent model text: a
-// "# filter: <label>" header plus the rule set in the round-trippable
-// full-precision format. ParseFilter inverts it exactly.
+// "# filter: <label>" header, a "# target: <name>" header when the
+// filter records its training target, plus the rule set in the
+// round-trippable full-precision format. ParseFilter inverts it exactly.
 func FormatFilter(f *InducedFilter) string {
-	return fmt.Sprintf("%s %s\n%s", filterHeader, f.Label, f.Rules.Format())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n", filterHeader, f.Label)
+	if f.Target != "" {
+		fmt.Fprintf(&b, "%s %s\n", targetHeader, f.Target)
+	}
+	b.WriteString(f.Rules.Format())
+	return b.String()
 }
 
 // ParseFilter reads model text produced by FormatFilter (or any rule text
-// in the Figure-4 format; the label header is optional). Attribute names
-// resolve against the Table-1 feature names.
+// in the Figure-4 format; the label and target headers are optional).
+// Attribute names resolve against the Table-1 feature names.
 func ParseFilter(text string) (*InducedFilter, error) {
-	label := ""
+	label, target := "", ""
 	for _, line := range strings.Split(text, "\n") {
-		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), filterHeader); ok {
+		trimmed := strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(trimmed, filterHeader); ok && label == "" {
 			label = strings.TrimSpace(rest)
-			break
+		}
+		if rest, ok := strings.CutPrefix(trimmed, targetHeader); ok && target == "" {
+			target = strings.TrimSpace(rest)
 		}
 	}
 	rs, err := ripper.Parse(text, FeatureNames)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewInduced(rs, label), nil
+	return core.NewInducedFor(rs, label, target), nil
 }
 
 // SaveFilter writes the induced filter to path as model text — the file
@@ -276,6 +309,9 @@ func SaveFilter(path string, f *InducedFilter) error {
 }
 
 // LoadFilter reads a model file written by SaveFilter (or schedtrain -o).
+// The returned filter's Target metadata is whatever the file recorded; it
+// is the caller's job to compare it against the machine actually in use
+// (LoadFilterFor does both).
 func LoadFilter(path string) (*InducedFilter, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -284,6 +320,24 @@ func LoadFilter(path string) (*InducedFilter, error) {
 	f, err := ParseFilter(string(buf))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// LoadFilterFor is LoadFilter for use under a specific machine target: if
+// the model file records a different training target, a warning naming
+// both targets is printed to stderr. The filter still loads — features
+// are target-independent, so applying it is legal, just possibly
+// mistuned; the Target metadata on the result lets callers decide.
+func LoadFilterFor(path, target string) (*InducedFilter, error) {
+	f, err := LoadFilter(path)
+	if err != nil {
+		return nil, err
+	}
+	if f.Target != "" && target != "" && f.Target != target {
+		fmt.Fprintf(os.Stderr,
+			"schedfilter: warning: %s was trained for target %q but is being used under %q\n",
+			path, f.Target, target)
 	}
 	return f, nil
 }

@@ -68,6 +68,37 @@ runs2=$(awk '/^schedserved_scheduler_runs_total /{print $2}' "$TMP/m2.txt")
 grep -q '^codecache_hits_total [1-9]' "$TMP/m2.txt" \
   || fail "codecache_hits_total not positive"
 
+echo "smoke: scalar1 target request (separate cache, cold)"
+"$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS -target scalar1 >"$TMP/r3.json"
+grep -q '"target": "scalar1"' "$TMP/r3.json" \
+  || fail "scalar1 request not labelled with its target: $(cat "$TMP/r3.json")"
+grep -q '"cache_misses": [1-9]' "$TMP/r3.json" \
+  || fail "scalar1 request hit the mpc7410 cache: $(cat "$TMP/r3.json")"
+key3=$(grep -o '"program_key": "[0-9a-f]*"' "$TMP/r3.json")
+[ -n "$key3" ] && [ "$key3" != "$key1" ] \
+  || fail "scalar1 program fingerprint collides with mpc7410: $key3"
+"$TMP/schedctl" -addr "$BASE" metrics | grep -q 'codecache_target_entries{target="scalar1"} [1-9]' \
+  || fail "per-target cache metrics missing scalar1 entries"
+
+echo "smoke: unknown target is rejected"
+if "$TMP/schedctl" -addr "$BASE" schedule -workload compress -target z80 >"$TMP/r4.json" 2>"$TMP/r4.err"; then
+  fail "unknown target z80 was accepted: $(cat "$TMP/r4.json")"
+fi
+grep -q 'unknown target' "$TMP/r4.err" \
+  || fail "unknown-target rejection lacks a useful error: $(cat "$TMP/r4.err")"
+
+echo "smoke: joltrun on the scalar1 target"
+go run ./cmd/joltrun -workload linpack -sched ls -timed -target scalar1 >"$TMP/jolt_scalar1.txt"
+go run ./cmd/joltrun -workload linpack -sched ls -timed >"$TMP/jolt_default.txt"
+ret_s1=$(grep -o 'ret=[0-9-]*' "$TMP/jolt_scalar1.txt" | head -1)
+ret_def=$(grep -o 'ret=[0-9-]*' "$TMP/jolt_default.txt" | head -1)
+[ -n "$ret_s1" ] && [ "$ret_s1" = "$ret_def" ] \
+  || fail "joltrun checksum differs across targets: $ret_s1 vs $ret_def"
+cyc_s1=$(grep -o 'in [0-9]* cycles' "$TMP/jolt_scalar1.txt" | grep -o '[0-9]*')
+cyc_def=$(grep -o 'in [0-9]* cycles' "$TMP/jolt_default.txt" | grep -o '[0-9]*')
+[ -n "$cyc_s1" ] && [ -n "$cyc_def" ] && [ "$cyc_s1" -ge "$cyc_def" ] \
+  || fail "single-issue scalar1 ran faster than dual-issue default ($cyc_s1 < $cyc_def cycles)"
+
 echo "smoke: graceful shutdown"
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID" 2>/dev/null || true
