@@ -14,17 +14,27 @@
 //	execute   -src FILE | -workload NAME [-filter F] [-untimed] [-target T]
 //	health
 //	metrics
+//	filters   list | activate -v N [-target T] | rollback [-target T]
+//	retrain   [-target T]
 //	loadgen   [-workload NAME] [-src FILE] [-filter F] [-target T] [-n 200] [-c 8]
 //
 // Filters: default (the server's), LS, NS, size:N.
 // Targets: registered machine names (schedctl health lists them); empty
 // means the server's default.
 //
+// The filters and retrain commands drive the server's online-learning
+// loop (schedserved -online): retrain runs one labelling + induction +
+// shadow-gate round now, filters list shows every registered version
+// with provenance and gate verdicts, activate hot-swaps a specific
+// version in, and rollback reverts to the previously active one.
+//
 // loadgen fires n identical schedule requests at concurrency c and
 // reports client-side throughput/latency plus the server-side cache hit
 // rate and list-scheduler run count deltas scraped from /metrics — on a
 // repeated workload the hit rate should be ≥ 90% and scheduler runs
-// should stop growing after the first request.
+// should stop growing after the first request. It also tallies which
+// filter version served each response, so a retrain-under-load run shows
+// the traffic mix flip from the old version to the new one.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,6 +73,10 @@ func main() {
 		err = c.getText("/healthz", os.Stdout)
 	case "metrics":
 		err = c.getText("/metrics", os.Stdout)
+	case "filters":
+		err = runFilters(c, args)
+	case "retrain":
+		err = runRetrain(c, args)
 	case "loadgen":
 		err = runLoadgen(c, args)
 	default:
@@ -76,7 +91,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] {compile|schedule|predict|execute|health|metrics|loadgen} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] {compile|schedule|predict|execute|health|metrics|filters|retrain|loadgen} [flags]")
 }
 
 type client struct {
@@ -186,6 +201,123 @@ func runRequest(c *client, cmd string, args []string) error {
 	return err
 }
 
+// runFilters drives the online filter registry: list, activate, rollback.
+func runFilters(c *client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: schedctl filters {list|activate -v N [-target T]|rollback [-target T]}")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "list":
+		return c.getJSONFilters()
+	case "activate":
+		fs := flag.NewFlagSet("filters activate", flag.ExitOnError)
+		v := fs.Int("v", 0, "filter version to activate")
+		target := fs.String("target", "", "machine target (empty = server default)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *v < 1 {
+			return fmt.Errorf("filters activate: need -v N (a positive version number)")
+		}
+		body, err := c.post(fmt.Sprintf("/v1/filters/%d/activate", *v),
+			server.FilterActionRequest{Target: *target})
+		if err != nil {
+			return err
+		}
+		return printAction("activated", body)
+	case "rollback":
+		fs := flag.NewFlagSet("filters rollback", flag.ExitOnError)
+		target := fs.String("target", "", "machine target (empty = server default)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		body, err := c.post("/v1/filters/rollback", server.FilterActionRequest{Target: *target})
+		if err != nil {
+			return err
+		}
+		return printAction("rolled back to", body)
+	default:
+		return fmt.Errorf("filters: unknown subcommand %q (want list, activate, or rollback)", sub)
+	}
+}
+
+// getJSONFilters fetches and pretty-prints GET /v1/filters.
+func (c *client) getJSONFilters() error {
+	var buf bytes.Buffer
+	if err := c.getText("/v1/filters", &buf); err != nil {
+		return err
+	}
+	var resp server.FiltersResponse
+	if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+		// Not JSON (or an error body): show it raw.
+		_, werr := os.Stdout.Write(buf.Bytes())
+		return werr
+	}
+	for _, ts := range resp.Targets {
+		fmt.Printf("target %s: active v%d, %d versions, reservoir %d samples\n",
+			ts.Target, ts.ActiveVersion, len(ts.Versions), ts.Reservoir)
+		for _, v := range ts.Versions {
+			fmt.Printf("  v%-3d %-11s %-24q hash=%s", v.Version, v.State, v.Label, v.RuleHash)
+			if v.Samples > 0 {
+				fmt.Printf(" samples=%d/%d", v.Samples, v.HoldoutSamples)
+			}
+			if v.Reason != "" {
+				fmt.Printf("  %s", v.Reason)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func printAction(verb string, body []byte) error {
+	var resp server.FilterActionResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		_, werr := os.Stdout.Write(body)
+		return werr
+	}
+	fmt.Printf("%s: %s v%d (%s, hash %s)\n", resp.Target, verb, resp.Version.Version,
+		resp.Version.Label, resp.Version.RuleHash)
+	return nil
+}
+
+// runRetrain triggers one retraining round and reports the outcome.
+func runRetrain(c *client, args []string) error {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	target := fs.String("target", "", "machine target (empty = every managed target)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := c.post("/v1/retrain", server.RetrainRequest{Target: *target})
+	if err != nil {
+		return err
+	}
+	var resp server.RetrainResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		_, werr := os.Stdout.Write(body)
+		return werr
+	}
+	for _, rep := range resp.Reports {
+		verdict := "rejected"
+		if rep.Promoted {
+			verdict = "PROMOTED"
+		}
+		if rep.Version == 0 {
+			verdict = "skipped"
+		}
+		fmt.Printf("%s: %s — %s (serving v%d, train=%d holdout=%d LS=%d NS=%d)\n",
+			rep.Target, verdict, rep.Reason, rep.ActiveVersion,
+			rep.Samples, rep.Holdout, rep.LSLabels, rep.NSLabels)
+		if rep.Candidate != nil && rep.Incumbent != nil {
+			fmt.Printf("%s:   candidate cycles=%d sched=%d vs incumbent cycles=%d sched=%d\n",
+				rep.Target, rep.Candidate.EstCycles, rep.Candidate.SchedCost,
+				rep.Incumbent.EstCycles, rep.Incumbent.SchedCost)
+		}
+	}
+	return nil
+}
+
 // metricValue scrapes one un-labelled counter from a /metrics exposition.
 func metricValue(text, name string) int64 {
 	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (-?\d+)$`)
@@ -240,6 +372,11 @@ func runLoadgen(c *client, args []string) error {
 		latencyMax atomic.Int64
 		next       atomic.Int64
 		wg         sync.WaitGroup
+		// versionMix tallies which filter version served each response —
+		// under retrain-under-load the mix flips from the old version to
+		// the new one mid-run.
+		mixMu      sync.Mutex
+		versionMix = map[string]int64{}
 	)
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
@@ -248,7 +385,8 @@ func runLoadgen(c *client, args []string) error {
 			defer wg.Done()
 			for next.Add(1) <= int64(*n) {
 				t0 := time.Now()
-				if _, err := c.post("/v1/schedule", req); err != nil {
+				body, err := c.post("/v1/schedule", req)
+				if err != nil {
 					failures.Add(1)
 					continue
 				}
@@ -259,6 +397,16 @@ func runLoadgen(c *client, args []string) error {
 					if ns <= old || latencyMax.CompareAndSwap(old, ns) {
 						break
 					}
+				}
+				var sr server.ScheduleResponse
+				if json.Unmarshal(body, &sr) == nil {
+					key := sr.Filter
+					if sr.FilterVersion > 0 {
+						key = fmt.Sprintf("v%d %q", sr.FilterVersion, sr.Filter)
+					}
+					mixMu.Lock()
+					versionMix[key]++
+					mixMu.Unlock()
 				}
 			}
 		}()
@@ -294,6 +442,18 @@ func runLoadgen(c *client, args []string) error {
 	}
 	fmt.Printf("loadgen: cache +%d hits / +%d misses (hit rate %.1f%%), scheduler runs +%d\n",
 		hits, misses, 100*hitRate, runs)
+	if len(versionMix) > 0 {
+		keys := make([]string, 0, len(versionMix))
+		for k := range versionMix {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("loadgen: filter mix:")
+		for _, k := range keys {
+			fmt.Printf(" %s ×%d", k, versionMix[k])
+		}
+		fmt.Println()
+	}
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d requests failed", failures.Load())
 	}

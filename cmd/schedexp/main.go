@@ -10,12 +10,13 @@
 //	schedexp -exp server -json                     # compile-server benchmark → BENCH_server.json
 //	schedexp -exp server -json -out /tmp/s.json    # ...to an explicit path
 //	schedexp -exp targets -json                    # cross-target matrix → BENCH_targets.json
+//	schedexp -exp online -json                     # retrain-under-load loop → BENCH_online.json
 //	schedexp -exp table4 -target wide4             # the paper tables under another machine
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server pipeline targets all
+//	sbfilter adaptive server pipeline targets online all
 //
 // -experiment is an alias for -exp. -target picks the machine model the
 // experiments run against by registry name (default mpc7410; see
@@ -301,6 +302,21 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, js
 		}
 		fmt.Println(res.Render())
 		if err := writeArtifact(jsonOut, outPath, "BENCH_targets.json", res); err != nil {
+			return err
+		}
+	}
+	// The online experiment drives the server's retrain-under-load loop
+	// (internal/online) deterministically: traffic waves fill the sample
+	// reservoir, Ripper retrains after each, and the shadow gate decides
+	// promotion. Runs by name only.
+	if exp == "online" {
+		did = true
+		res, err := experiments.RunOnline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_online.json", res); err != nil {
 			return err
 		}
 	}

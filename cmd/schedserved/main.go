@@ -9,10 +9,20 @@
 //	schedserved [-addr :8723] [-model rules.txt] [-filter factory]
 //	            [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
 //	            [-target mpc7410]
+//	            [-online] [-retrain-every 0] [-spill DIR]
+//	            [-online-threshold 20] [-online-min 64] [-online-samples 4096]
 //
 // The -filter flag selects the default filter applied when a request does
 // not name one: "factory" (the loaded model), "LS", "NS", or "size:N".
 // Model files are produced by schedtrain -o or schedfilter.SaveFilter.
+//
+// -online enables the online-learning loop: live traffic feeds per-target
+// sample reservoirs, POST /v1/retrain (or the -retrain-every ticker, when
+// non-zero) re-induces the filter with Ripper, candidates are shadow-gated
+// against the incumbent on a held-out slice, and promotions hot-swap the
+// default serving filter atomically. GET /v1/filters lists every version;
+// POST /v1/filters/{v}/activate and /v1/filters/rollback steer it by hand.
+// -spill persists reservoirs across restarts as JSONL under DIR.
 //
 // The -target flag picks the default machine target for requests that do
 // not name one; every registered target is servable per-request either
@@ -61,6 +71,12 @@ func main() {
 	cacheWeight := flag.Int("cache", 0, "scheduled-block cache bound in words (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	target := flag.String("target", schedfilter.DefaultTargetName, "default machine target for requests that don't name one")
+	onlineFlag := flag.Bool("online", false, "enable the online-learning loop (live sampling, retraining, filter hot-swap)")
+	retrainEvery := flag.Duration("retrain-every", 0, "online: background retraining interval (0 = retrain only on POST /v1/retrain)")
+	spill := flag.String("spill", "", "online: directory for JSONL reservoir spill/restore (empty = in-memory only)")
+	onlineT := flag.Int("online-threshold", 20, "online: threshold-t labelling percentage")
+	onlineMin := flag.Int("online-min", 64, "online: minimum training samples before a candidate is induced")
+	onlineCap := flag.Int("online-samples", 0, "online: per-target sample reservoir capacity (0 = default)")
 	flag.Parse()
 
 	if _, err := schedfilter.TargetByName(*target); err != nil {
@@ -81,9 +97,21 @@ func main() {
 		QueueDepth:  *queue,
 		CacheWeight: *cacheWeight,
 		Target:      *target,
+		Online:      *onlineFlag,
+		OnlineOpts: schedfilter.OnlineConfig{
+			Interval:   *retrainEvery,
+			SpillDir:   *spill,
+			Threshold:  *onlineT,
+			MinSamples: *onlineMin,
+			SampleCap:  *onlineCap,
+		},
 	})
-	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (target %s, filter %s, %d rules in model)\n",
-		*addr, *target, filter.Name(), len(induced.Rules.Rules))
+	mode := "static filter"
+	if *onlineFlag {
+		mode = "online learning on"
+	}
+	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (target %s, filter %s, %d rules in model, %s)\n",
+		*addr, *target, filter.Name(), len(induced.Rules.Rules), mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,5 +1,7 @@
 package server
 
+import "schedfilter"
+
 // The compile service's JSON wire types. Every compiler endpoint accepts
 // the same input shape: Jolt source (or the name of a bundled benchmark
 // workload), plus an optional filter selector. Errors come back as
@@ -66,6 +68,10 @@ type ScheduleRequest struct {
 // ScheduleResponse reports a scheduling pass.
 type ScheduleResponse struct {
 	Filter string `json:"filter"`
+	// FilterVersion is the online registry version that served the
+	// request (0 when the server runs a static filter, or when the
+	// request pinned an explicit filter spec).
+	FilterVersion int `json:"filter_version,omitempty"`
 	// Target is the machine target the pass scheduled for.
 	Target       string `json:"target"`
 	Blocks       int    `json:"blocks"`
@@ -106,6 +112,7 @@ type BlockDecision struct {
 // PredictResponse reports the filter's decisions.
 type PredictResponse struct {
 	Filter        string          `json:"filter"`
+	FilterVersion int             `json:"filter_version,omitempty"`
 	Blocks        int             `json:"blocks"`
 	WouldSchedule int             `json:"would_schedule"`
 	Decisions     []BlockDecision `json:"decisions,omitempty"`
@@ -123,7 +130,8 @@ type ExecuteRequest struct {
 
 // ExecuteResponse reports a simulated run.
 type ExecuteResponse struct {
-	Filter string `json:"filter"`
+	Filter        string `json:"filter"`
+	FilterVersion int    `json:"filter_version,omitempty"`
 	// Target is the machine target the run was scheduled and timed for.
 	Target    string   `json:"target"`
 	Ret       int64    `json:"ret"`
@@ -148,4 +156,39 @@ type HealthResponse struct {
 	Model   string   `json:"model"`
 	Target  string   `json:"target"`
 	Targets []string `json:"targets"`
+	// Online reports whether online learning is enabled; FilterVersion
+	// is then the default target's serving filter version.
+	Online        bool `json:"online,omitempty"`
+	FilterVersion int  `json:"filter_version,omitempty"`
+}
+
+// FiltersResponse is the body of GET /v1/filters: every managed
+// target's versioned filter registry plus reservoir gauges.
+type FiltersResponse struct {
+	Targets []schedfilter.OnlineTargetStatus `json:"targets"`
+}
+
+// RetrainRequest is the input of POST /v1/retrain. An empty Target
+// retrains every managed target.
+type RetrainRequest struct {
+	Target string `json:"target,omitempty"`
+}
+
+// RetrainResponse reports the retraining rounds the request ran.
+type RetrainResponse struct {
+	Reports []*schedfilter.RetrainReport `json:"reports"`
+}
+
+// FilterActionRequest is the input of POST /v1/filters/{version}/activate
+// and POST /v1/filters/rollback; Target defaults to the server's default
+// machine target.
+type FilterActionRequest struct {
+	Target string `json:"target,omitempty"`
+}
+
+// FilterActionResponse reports an activation or rollback: the version
+// now serving the target.
+type FilterActionResponse struct {
+	Target  string                    `json:"target"`
+	Version schedfilter.FilterVersion `json:"version"`
 }

@@ -136,6 +136,26 @@ func (m *metrics) render(s *Server) string {
 		fmt.Fprintf(&b, "codecache_target_entries{target=%q} %d\n", name, cs.Entries)
 	}
 
+	if s.online != nil {
+		om := s.online.Metrics()
+		b.WriteString("# HELP online Online-learning loop: sample collector, trainer, registry.\n")
+		fmt.Fprintf(&b, "online_blocks_observed_total %d\n", om.Observed)
+		fmt.Fprintf(&b, "online_blocks_known_total %d\n", om.Known)
+		fmt.Fprintf(&b, "online_blocks_enqueued_total %d\n", om.Enqueued)
+		fmt.Fprintf(&b, "online_blocks_dropped_total %d\n", om.Dropped)
+		fmt.Fprintf(&b, "online_samples_measured_total %d\n", om.Measured)
+		fmt.Fprintf(&b, "online_retrains_total %d\n", om.Retrains)
+		fmt.Fprintf(&b, "online_promotions_total %d\n", om.Promotions)
+		fmt.Fprintf(&b, "online_rejections_total %d\n", om.Rejections)
+		fmt.Fprintf(&b, "online_activations_total %d\n", om.Activations)
+		fmt.Fprintf(&b, "online_rollbacks_total %d\n", om.Rollbacks)
+		for _, ts := range s.online.Status() {
+			fmt.Fprintf(&b, "online_active_filter_version{target=%q} %d\n", ts.Target, ts.ActiveVersion)
+			fmt.Fprintf(&b, "online_filter_versions{target=%q} %d\n", ts.Target, len(ts.Versions))
+			fmt.Fprintf(&b, "online_reservoir_samples{target=%q} %d\n", ts.Target, ts.Reservoir)
+		}
+	}
+
 	b.WriteString("# HELP schedserved_pool Worker-pool gauges.\n")
 	fmt.Fprintf(&b, "schedserved_pool_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(&b, "schedserved_pool_queue_capacity %d\n", s.cfg.QueueDepth)

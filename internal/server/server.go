@@ -61,6 +61,15 @@ type Config struct {
 	CacheWeight int
 	// JIT configures compilation; the zero value selects the defaults.
 	JIT schedfilter.JITOptions
+	// Online enables the online-learning loop: live traffic feeds
+	// per-target sample reservoirs, a background trainer periodically
+	// re-induces the filter, candidates are shadow-gated against the
+	// incumbent, and promotions hot-swap the default serving filter.
+	Online bool
+	// OnlineOpts parameterize the loop when Online is set; the zero
+	// value selects defaults. Boot is overwritten with Config.Filter —
+	// the server's configured filter is always version 1.
+	OnlineOpts schedfilter.OnlineConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +114,8 @@ type Server struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+	// online is the learning loop (nil when Config.Online is unset).
+	online *schedfilter.OnlineManager
 }
 
 // New builds a server. Every registered machine target is servable; the
@@ -116,7 +127,8 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		targets: map[string]*machineTarget{},
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		metrics: newMetrics("compile", "schedule", "predict", "execute"),
+		metrics: newMetrics("compile", "schedule", "predict", "execute",
+			"filters", "activate", "rollback", "retrain"),
 	}
 	for _, tgt := range schedfilter.Targets() {
 		s.targets[tgt.Name] = &machineTarget{
@@ -131,11 +143,27 @@ func New(cfg Config) *Server {
 		panic(fmt.Sprintf("server: default target %q is not registered", cfg.Target))
 	}
 	s.def = def
+	if cfg.Online {
+		oc := cfg.OnlineOpts
+		oc.Boot = cfg.Filter
+		mgr, err := schedfilter.NewOnlineManager(oc)
+		if err != nil {
+			// Misconfigured online loop (unknown target, unreadable
+			// spill) is a deployment error, like an unknown default
+			// target.
+			panic(fmt.Sprintf("server: online learning: %v", err))
+		}
+		s.online = mgr
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.endpoint("compile", s.doCompile))
 	mux.HandleFunc("POST /v1/schedule", s.endpoint("schedule", s.doSchedule))
 	mux.HandleFunc("POST /v1/predict", s.endpoint("predict", s.doPredict))
 	mux.HandleFunc("POST /v1/execute", s.endpoint("execute", s.doExecute))
+	mux.HandleFunc("GET /v1/filters", s.handleFilters)
+	mux.HandleFunc("POST /v1/filters/{version}/activate", s.handleActivate)
+	mux.HandleFunc("POST /v1/filters/rollback", s.handleRollback)
+	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -178,9 +206,20 @@ func (s *Server) resolveTarget(name string) (*machineTarget, error) {
 }
 
 // Close drains the worker pool: queued and in-flight compilations finish,
-// new submissions are rejected with 503. Call after the HTTP listener has
-// stopped accepting (http.Server.Shutdown) for a fully graceful stop.
-func (s *Server) Close() { s.pool.Close() }
+// new submissions are rejected with 503. The online loop (when enabled)
+// stops afterwards and spills its reservoirs. Call after the HTTP
+// listener has stopped accepting (http.Server.Shutdown) for a fully
+// graceful stop.
+func (s *Server) Close() {
+	s.pool.Close()
+	if s.online != nil {
+		_ = s.online.Close()
+	}
+}
+
+// Online exposes the learning loop's manager (nil when disabled); tests
+// and the daemon use it.
+func (s *Server) Online() *schedfilter.OnlineManager { return s.online }
 
 // endpoint wraps one compiler endpoint: read the body on the connection
 // goroutine, run work on the bounded pool, encode the response, record
@@ -229,14 +268,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(HealthResponse{
+	resp := HealthResponse{
 		Status:  "ok",
 		Filter:  s.cfg.Filter.Name(),
 		Model:   s.def.model.Name,
 		Target:  s.def.name,
 		Targets: append([]string(nil), s.order...),
-	})
+	}
+	if s.online != nil {
+		resp.Online = true
+		f, version := s.online.ActiveFilter(s.def.name)
+		resp.Filter = f.Name()
+		resp.FilterVersion = version
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // compileInput compiles a request's program (inline source or bundled
@@ -268,27 +314,44 @@ func (s *Server) compileInput(in ProgramInput) (*schedfilter.Program, time.Durat
 	return prog, time.Since(start), nil
 }
 
-// resolveFilter picks the request's scheduling filter.
-func (s *Server) resolveFilter(spec FilterSpec) (schedfilter.Filter, error) {
+// resolveFilter picks the request's scheduling filter for a machine
+// target. The returned version is non-zero only when the filter came
+// from the online registry's active slot — the number hot-swaps change
+// and loadgen tallies.
+func (s *Server) resolveFilter(spec FilterSpec, mt *machineTarget) (schedfilter.Filter, int, error) {
 	if spec.Model != "" {
-		return schedfilter.ParseFilter(spec.Model)
+		f, err := schedfilter.ParseFilter(spec.Model)
+		return f, 0, err
 	}
 	name := strings.TrimSpace(spec.Filter)
 	switch {
 	case name == "" || strings.EqualFold(name, "default"):
-		return s.cfg.Filter, nil
+		if s.online != nil {
+			f, version := s.online.ActiveFilter(mt.name)
+			return f, version, nil
+		}
+		return s.cfg.Filter, 0, nil
 	case strings.EqualFold(name, "LS"), strings.EqualFold(name, "always"):
-		return schedfilter.AlwaysSchedule, nil
+		return schedfilter.AlwaysSchedule, 0, nil
 	case strings.EqualFold(name, "NS"), strings.EqualFold(name, "never"):
-		return schedfilter.NeverSchedule, nil
+		return schedfilter.NeverSchedule, 0, nil
 	case strings.HasPrefix(name, "size:"):
 		n, err := strconv.Atoi(name[len("size:"):])
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad size filter %q (want size:N)", name)
+			return nil, 0, fmt.Errorf("bad size filter %q (want size:N)", name)
 		}
-		return schedfilter.SizeFilter(n), nil
+		return schedfilter.SizeFilter(n), 0, nil
 	default:
-		return nil, fmt.Errorf("unknown filter %q (want default, LS, NS, or size:N)", name)
+		return nil, 0, fmt.Errorf("unknown filter %q (want default, LS, NS, or size:N)", name)
+	}
+}
+
+// observe feeds a freshly compiled (still unscheduled) program to the
+// online sample collector. Must run before the scheduling pass reorders
+// blocks — the collector needs original-order instruction content.
+func (s *Server) observe(mt *machineTarget, prog *schedfilter.Program) {
+	if s.online != nil {
+		s.online.Observe(mt.name, prog)
 	}
 }
 
@@ -344,11 +407,11 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
 	}
-	f, err := s.resolveFilter(req.FilterSpec)
+	mt, err := s.resolveTarget(req.Target)
 	if err != nil {
 		return nil, err
 	}
-	mt, err := s.resolveTarget(req.Target)
+	f, version, err := s.resolveFilter(req.FilterSpec, mt)
 	if err != nil {
 		return nil, err
 	}
@@ -356,22 +419,27 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.observe(mt, prog)
 	st := s.schedulePass(prog, f, mt, req.NoCache)
-	key := schedfilter.FingerprintProgram(mt.model, f.Name(), prog)
+	// The fingerprint context is the filter's content identity, not its
+	// display name: two hot-swapped filter versions that share a label
+	// must never alias.
+	key := schedfilter.FingerprintProgram(mt.model, schedfilter.FilterID(f), prog)
 	return ScheduleResponse{
-		Filter:       f.Name(),
-		Target:       mt.name,
-		Blocks:       st.Blocks,
-		Scheduled:    st.Scheduled,
-		NotScheduled: st.NotScheduled,
-		Changed:      st.Changed,
-		CacheHits:    st.CacheHits,
-		CacheMisses:  st.CacheMisses,
-		CostBefore:   st.CostBefore,
-		CostAfter:    st.CostAfter,
-		CompileNs:    compileT.Nanoseconds(),
-		SchedNs:      st.SchedTime.Nanoseconds(),
-		ProgramKey:   hex.EncodeToString(key[:]),
+		Filter:        f.Name(),
+		FilterVersion: version,
+		Target:        mt.name,
+		Blocks:        st.Blocks,
+		Scheduled:     st.Scheduled,
+		NotScheduled:  st.NotScheduled,
+		Changed:       st.Changed,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		CostBefore:    st.CostBefore,
+		CostAfter:     st.CostAfter,
+		CompileNs:     compileT.Nanoseconds(),
+		SchedNs:       st.SchedTime.Nanoseconds(),
+		ProgramKey:    hex.EncodeToString(key[:]),
 	}, nil
 }
 
@@ -380,20 +448,22 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
 	}
-	f, err := s.resolveFilter(req.FilterSpec)
+	// Prediction reads only target-independent features, but the target
+	// still selects which online filter version serves "default" (and an
+	// unknown name is still a client fault).
+	mt, err := s.resolveTarget(req.Target)
 	if err != nil {
 		return nil, err
 	}
-	// Prediction reads only target-independent features, but an unknown
-	// target name is still a client fault.
-	if _, err := s.resolveTarget(req.Target); err != nil {
+	f, version, err := s.resolveFilter(req.FilterSpec, mt)
+	if err != nil {
 		return nil, err
 	}
 	prog, _, err := s.compileInput(req.ProgramInput)
 	if err != nil {
 		return nil, err
 	}
-	resp := PredictResponse{Filter: f.Name()}
+	resp := PredictResponse{Filter: f.Name(), FilterVersion: version}
 	for _, fn := range prog.Fns {
 		for _, b := range fn.Blocks {
 			v := schedfilter.ExtractFeatures(b)
@@ -420,11 +490,11 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
 	}
-	f, err := s.resolveFilter(req.FilterSpec)
+	mt, err := s.resolveTarget(req.Target)
 	if err != nil {
 		return nil, err
 	}
-	mt, err := s.resolveTarget(req.Target)
+	f, version, err := s.resolveFilter(req.FilterSpec, mt)
 	if err != nil {
 		return nil, err
 	}
@@ -432,6 +502,7 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.observe(mt, prog)
 	st := s.schedulePass(prog, f, mt, false)
 	simStart := time.Now()
 	res, err := schedfilter.Execute(prog, mt.model, !req.Untimed)
@@ -439,18 +510,19 @@ func (s *Server) doExecute(body []byte) (any, error) {
 		return nil, err
 	}
 	return ExecuteResponse{
-		Filter:      f.Name(),
-		Target:      mt.name,
-		Ret:         res.Ret,
-		Cycles:      res.Cycles,
-		DynInstrs:   res.DynInstrs,
-		Output:      res.Output,
-		Scheduled:   st.Scheduled,
-		CacheHits:   st.CacheHits,
-		CacheMisses: st.CacheMisses,
-		CompileNs:   compileT.Nanoseconds(),
-		SchedNs:     st.SchedTime.Nanoseconds(),
-		SimNs:       time.Since(simStart).Nanoseconds(),
+		Filter:        f.Name(),
+		FilterVersion: version,
+		Target:        mt.name,
+		Ret:           res.Ret,
+		Cycles:        res.Cycles,
+		DynInstrs:     res.DynInstrs,
+		Output:        res.Output,
+		Scheduled:     st.Scheduled,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		CompileNs:     compileT.Nanoseconds(),
+		SchedNs:       st.SchedTime.Nanoseconds(),
+		SimNs:         time.Since(simStart).Nanoseconds(),
 	}, nil
 }
 

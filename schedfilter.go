@@ -40,7 +40,6 @@ package schedfilter
 import (
 	"fmt"
 	"os"
-	"strings"
 
 	"schedfilter/internal/adaptive"
 	"schedfilter/internal/bytecode"
@@ -53,6 +52,7 @@ import (
 	"schedfilter/internal/jit"
 	"schedfilter/internal/jolt"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/online"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
@@ -129,7 +129,36 @@ type (
 	// registry. Every layer that needs a machine resolves one of these;
 	// the registered Model must not be mutated (Clone it for variants).
 	Target = machine.Target
+	// OnlineConfig parameterizes the online-learning loop (live label
+	// capture, background retraining, shadow-gated promotion).
+	OnlineConfig = online.Config
+	// OnlineManager runs the loop: sample collection, retraining, and
+	// the per-target versioned filter registries the compile server
+	// serves from.
+	OnlineManager = online.Manager
+	// OnlineGate is the shadow-evaluation promotion gate.
+	OnlineGate = online.Gate
+	// OnlineScore is one filter's shadow evaluation on held-out samples.
+	OnlineScore = online.Score
+	// FilterVersion is one registered filter version with provenance.
+	FilterVersion = online.Version
+	// RetrainReport describes one retraining round's outcome.
+	RetrainReport = online.RetrainReport
+	// OnlineTargetStatus is one target's registry listing plus
+	// reservoir gauges.
+	OnlineTargetStatus = online.TargetStatus
+	// OnlineMetrics snapshots the online loop's counters.
+	OnlineMetrics = online.Metrics
 )
+
+// NewOnlineManager starts the online-learning loop: per-target sample
+// reservoirs fed by Observe, background Ripper retraining, shadow
+// evaluation against the incumbent on a held-out slice, and versioned
+// filter hot-swap with rollback. The compile server embeds one when
+// booted with online learning enabled.
+func NewOnlineManager(cfg OnlineConfig) (*OnlineManager, error) {
+	return online.NewManager(cfg)
+}
 
 // Fixed protocols (the paper's baselines).
 var (
@@ -260,47 +289,23 @@ func ParseRuleSet(text string) (*RuleSet, error) {
 // blocks of at least minLen instructions.
 func SizeFilter(minLen int) Filter { return core.SizeThreshold{MinLen: minLen} }
 
-// filterHeader marks the label line of a persisted model file;
-// targetHeader records the machine target the filter was trained for.
-const (
-	filterHeader = "# filter:"
-	targetHeader = "# target:"
-)
-
 // FormatFilter renders an induced filter as persistent model text: a
 // "# filter: <label>" header, a "# target: <name>" header when the
 // filter records its training target, plus the rule set in the
 // round-trippable full-precision format. ParseFilter inverts it exactly.
-func FormatFilter(f *InducedFilter) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s\n", filterHeader, f.Label)
-	if f.Target != "" {
-		fmt.Fprintf(&b, "%s %s\n", targetHeader, f.Target)
-	}
-	b.WriteString(f.Rules.Format())
-	return b.String()
-}
+func FormatFilter(f *InducedFilter) string { return core.FormatInduced(f) }
 
 // ParseFilter reads model text produced by FormatFilter (or any rule text
 // in the Figure-4 format; the label and target headers are optional).
 // Attribute names resolve against the Table-1 feature names.
-func ParseFilter(text string) (*InducedFilter, error) {
-	label, target := "", ""
-	for _, line := range strings.Split(text, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(trimmed, filterHeader); ok && label == "" {
-			label = strings.TrimSpace(rest)
-		}
-		if rest, ok := strings.CutPrefix(trimmed, targetHeader); ok && target == "" {
-			target = strings.TrimSpace(rest)
-		}
-	}
-	rs, err := ripper.Parse(text, FeatureNames)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewInducedFor(rs, label, target), nil
-}
+func ParseFilter(text string) (*InducedFilter, error) { return core.ParseInduced(text) }
+
+// FilterID returns a stable content identity for a filter: fixed
+// protocols by name, induced filters by label plus a digest of their
+// rule text. The compile server folds it into program fingerprints so
+// two filter versions that share a display name can never alias in any
+// content-addressed cache.
+func FilterID(f Filter) string { return core.FilterID(f) }
 
 // SaveFilter writes the induced filter to path as model text — the file
 // the compile-server daemon (cmd/schedserved) boots from.

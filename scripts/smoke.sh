@@ -105,4 +105,58 @@ wait "$SERVED_PID" 2>/dev/null || true
 grep -q 'drained, bye' "$TMP/served.log" || fail "daemon did not drain cleanly"
 SERVED_PID=""
 
-echo "smoke: OK (second identical request served from cache, scheduler runs flat at $runs2)"
+# --- Online learning: loadgen → retrain → activate → rollback, with the
+# server staying up (continued 200s) across every hot-swap.
+ADDR2="127.0.0.1:${SMOKE_ONLINE_PORT:-18924}"
+BASE2="http://$ADDR2"
+
+echo "smoke: starting schedserved -online on $ADDR2"
+"$TMP/schedserved" -addr "$ADDR2" -online -online-min 1 2>"$TMP/served2.log" &
+SERVED_PID=$!
+
+for i in $(seq 1 50); do
+  if "$TMP/schedctl" -addr "$BASE2" health >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVED_PID" 2>/dev/null || { cat "$TMP/served2.log" >&2; fail "online daemon died"; }
+  sleep 0.2
+  [ "$i" = 50 ] && fail "online daemon did not become healthy"
+done
+
+echo "smoke: loadgen against the boot filter"
+"$TMP/schedctl" -addr "$BASE2" loadgen -workload compress -n 40 -c 4 >"$TMP/lg1.txt"
+grep -q 'failed 0' "$TMP/lg1.txt" || fail "loadgen saw failures: $(cat "$TMP/lg1.txt")"
+grep -q 'filter mix:.*v1 ' "$TMP/lg1.txt" \
+  || fail "loadgen mix does not show boot version v1: $(cat "$TMP/lg1.txt")"
+
+echo "smoke: retrain on the observed traffic"
+"$TMP/schedctl" -addr "$BASE2" retrain -target mpc7410 >"$TMP/rt.txt" \
+  || fail "retrain failed: $(cat "$TMP/rt.txt")"
+grep -q 'skipped' "$TMP/rt.txt" && fail "retrain skipped (no samples): $(cat "$TMP/rt.txt")"
+
+"$TMP/schedctl" -addr "$BASE2" filters list >"$TMP/fl.txt"
+nvers=$(grep '^target mpc7410:' "$TMP/fl.txt" | grep -o '[0-9]* versions' | grep -o '[0-9]*')
+[ -n "$nvers" ] && [ "$nvers" -ge 2 ] \
+  || fail "no candidate registered after retrain: $(cat "$TMP/fl.txt")"
+
+echo "smoke: activating v$nvers and asserting continued 200s"
+"$TMP/schedctl" -addr "$BASE2" filters activate -v "$nvers" >"$TMP/act.txt" \
+  || fail "activate failed: $(cat "$TMP/act.txt")"
+"$TMP/schedctl" -addr "$BASE2" loadgen -workload compress -n 40 -c 4 >"$TMP/lg2.txt"
+grep -q 'failed 0' "$TMP/lg2.txt" \
+  || fail "requests failed after hot-swap: $(cat "$TMP/lg2.txt")"
+grep -q "filter mix:.*v$nvers " "$TMP/lg2.txt" \
+  || fail "traffic not served by activated v$nvers: $(cat "$TMP/lg2.txt")"
+
+echo "smoke: rollback restores the previous filter"
+"$TMP/schedctl" -addr "$BASE2" filters rollback >"$TMP/rb.txt" \
+  || fail "rollback failed: $(cat "$TMP/rb.txt")"
+"$TMP/schedctl" -addr "$BASE2" health >/dev/null || fail "server unhealthy after rollback"
+"$TMP/schedctl" -addr "$BASE2" metrics | grep -q '^online_rollbacks_total 1' \
+  || fail "rollback not counted in /metrics"
+
+echo "smoke: online daemon graceful shutdown"
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID" 2>/dev/null || true
+grep -q 'drained, bye' "$TMP/served2.log" || fail "online daemon did not drain cleanly"
+SERVED_PID=""
+
+echo "smoke: OK (cache warm at $runs2 scheduler runs; retrain/activate/rollback hot-swapped with zero failures)"
