@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	schedctl [-addr http://127.0.0.1:8723] <command> [flags]
+//	schedctl [-addr http://127.0.0.1:8723] [-timeout 120s] [-retries 2] <command> [flags]
 //
 // Commands:
 //
@@ -14,9 +14,16 @@
 //	execute   -src FILE | -workload NAME [-filter F] [-untimed] [-target T]
 //	health
 //	metrics
+//	cluster
 //	filters   list | activate -v N [-target T] | rollback [-target T]
 //	retrain   [-target T]
 //	loadgen   [-workload NAME] [-src FILE] [-filter F] [-target T] [-n 200] [-c 8]
+//
+// Requests go through the shared retrying client (internal/httpc):
+// -timeout bounds one attempt, -retries re-attempts transient failures
+// (transport errors, 429, 5xx) with exponential backoff and jitter.
+// -addr may point at a single schedserved or at a schedgate cluster
+// gateway — the compile-path commands are identical either way.
 //
 // Filters: default (the server's), LS, NS, size:N.
 // Targets: registered machine names (schedctl health lists them); empty
@@ -28,13 +35,20 @@
 // with provenance and gate verdicts, activate hot-swaps a specific
 // version in, and rollback reverts to the previously active one.
 //
+// The cluster command asks a schedgate for GET /v1/cluster and prints
+// per-member health and filter versions plus the per-target convergence
+// verdict after a broadcast retrain/activate.
+//
 // loadgen fires n identical schedule requests at concurrency c and
 // reports client-side throughput/latency plus the server-side cache hit
 // rate and list-scheduler run count deltas scraped from /metrics — on a
 // repeated workload the hit rate should be ≥ 90% and scheduler runs
 // should stop growing after the first request. It also tallies which
 // filter version served each response, so a retrain-under-load run shows
-// the traffic mix flip from the old version to the new one.
+// the traffic mix flip from the old version to the new one, and which
+// node answered (the X-Sched-Node header), so a run against a gateway
+// shows the routing mix — including a node dying mid-run with zero
+// failed requests.
 package main
 
 import (
@@ -48,15 +62,20 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"schedfilter/internal/cluster"
+	"schedfilter/internal/httpc"
 	"schedfilter/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8723", "schedserved base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8723", "schedserved (or schedgate) base URL")
+	timeout := flag.Duration("timeout", httpc.DefaultTimeout, "per-attempt request timeout")
+	retries := flag.Int("retries", 2, "re-attempts after a transient failure (transport error, 429, 5xx)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -64,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
-	c := &client{base: *addr, hc: &http.Client{Timeout: 120 * time.Second}}
+	c := &client{Client: httpc.New(*addr, *timeout, *retries)}
 	var err error
 	switch cmd {
 	case "compile", "schedule", "predict", "execute":
@@ -73,6 +92,8 @@ func main() {
 		err = c.getText("/healthz", os.Stdout)
 	case "metrics":
 		err = c.getText("/metrics", os.Stdout)
+	case "cluster":
+		err = runCluster(c)
 	case "filters":
 		err = runFilters(c, args)
 	case "retrain":
@@ -91,50 +112,37 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] {compile|schedule|predict|execute|health|metrics|filters|retrain|loadgen} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] [-timeout D] [-retries N] {compile|schedule|predict|execute|health|metrics|cluster|filters|retrain|loadgen} [flags]")
 }
 
+// client wraps the shared retrying HTTP client with the error shaping
+// the CLI wants: non-2xx answers become errors carrying the service's
+// error body.
 type client struct {
-	base string
-	hc   *http.Client
+	*httpc.Client
 }
 
-// post sends one JSON request; non-2xx responses come back as errors
-// carrying the server's error body.
-func (c *client) post(path string, req any) ([]byte, error) {
-	buf, err := json.Marshal(req)
+// post sends one JSON request; the returned response is always 2xx.
+func (c *client) post(path string, req any) (*httpc.Response, error) {
+	r, err := c.PostJSON(path, req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
+	if err := r.Err(path); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e server.ErrorResponse
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
-		}
-		return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
-	}
-	return body, nil
+	return r, nil
 }
 
 func (c *client) getText(path string, w io.Writer) error {
-	resp, err := c.hc.Get(c.base + path)
+	r, err := c.Get(path)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	if r.Status != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, r.Status)
 	}
-	_, err = io.Copy(w, resp.Body)
+	_, err = w.Write(r.Body)
 	return err
 }
 
@@ -193,12 +201,61 @@ func runRequest(c *client, cmd string, args []string) error {
 	case "execute":
 		req = server.ExecuteRequest{ProgramInput: in, FilterSpec: spec, Untimed: *untimed}
 	}
-	body, err := c.post("/v1/"+cmd, req)
+	r, err := c.post("/v1/"+cmd, req)
 	if err != nil {
 		return err
 	}
-	_, err = os.Stdout.Write(body)
+	if node := r.Header.Get("X-Sched-Node"); node != "" {
+		fmt.Fprintf(os.Stderr, "schedctl: served by node %s\n", node)
+	}
+	_, err = os.Stdout.Write(r.Body)
 	return err
+}
+
+// runCluster prints a schedgate's membership and convergence report.
+func runCluster(c *client) error {
+	r, err := c.Get("/v1/cluster")
+	if err != nil {
+		return err
+	}
+	var resp cluster.ClusterResponse
+	if err := r.Decode("/v1/cluster", &resp); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d/%d members healthy, ring replicas %d\n",
+		resp.Healthy, resp.Total, resp.Replicas)
+	for _, m := range resp.Members {
+		if !m.Healthy {
+			fmt.Printf("  %-12s %-28s UNHEALTHY: %s\n", m.Name, m.URL, m.Error)
+			continue
+		}
+		state := "static"
+		if m.Online {
+			state = fmt.Sprintf("online v%d", m.FilterVersion)
+		}
+		fmt.Printf("  %-12s %-28s healthy (%s, target %s, filter %q)\n",
+			m.Name, m.URL, state, m.Target, m.Filter)
+	}
+	for _, tc := range resp.Convergence {
+		verdict := "NOT converged"
+		if tc.Converged {
+			verdict = "converged"
+			if tc.HashConverged {
+				verdict = "converged (versions and rule hashes)"
+			}
+		}
+		nodes := make([]string, 0, len(tc.Versions))
+		for n := range tc.Versions {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		parts := make([]string, len(nodes))
+		for i, n := range nodes {
+			parts[i] = fmt.Sprintf("%s=v%d", n, tc.Versions[n])
+		}
+		fmt.Printf("  target %s: %s — %s\n", tc.Target, verdict, strings.Join(parts, " "))
+	}
+	return nil
 }
 
 // runFilters drives the online filter registry: list, activate, rollback.
@@ -220,33 +277,49 @@ func runFilters(c *client, args []string) error {
 		if *v < 1 {
 			return fmt.Errorf("filters activate: need -v N (a positive version number)")
 		}
-		body, err := c.post(fmt.Sprintf("/v1/filters/%d/activate", *v),
+		r, err := c.post(fmt.Sprintf("/v1/filters/%d/activate", *v),
 			server.FilterActionRequest{Target: *target})
 		if err != nil {
 			return err
 		}
-		return printAction("activated", body)
+		return printAction("activated", r.Body)
 	case "rollback":
 		fs := flag.NewFlagSet("filters rollback", flag.ExitOnError)
 		target := fs.String("target", "", "machine target (empty = server default)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		body, err := c.post("/v1/filters/rollback", server.FilterActionRequest{Target: *target})
+		r, err := c.post("/v1/filters/rollback", server.FilterActionRequest{Target: *target})
 		if err != nil {
 			return err
 		}
-		return printAction("rolled back to", body)
+		return printAction("rolled back to", r.Body)
 	default:
 		return fmt.Errorf("filters: unknown subcommand %q (want list, activate, or rollback)", sub)
 	}
 }
 
-// getJSONFilters fetches and pretty-prints GET /v1/filters.
+// getJSONFilters fetches and pretty-prints GET /v1/filters — either a
+// single node's registry or, from a gateway, every node's side by side.
 func (c *client) getJSONFilters() error {
 	var buf bytes.Buffer
 	if err := c.getText("/v1/filters", &buf); err != nil {
 		return err
+	}
+	var bc cluster.BroadcastResponse
+	if json.Unmarshal(buf.Bytes(), &bc) == nil && bc.Op == "filters" && len(bc.Nodes) > 0 {
+		for _, n := range bc.Nodes {
+			if n.Error != "" {
+				fmt.Printf("node %s: HTTP %d: %s\n", n.Node, n.Status, n.Error)
+				continue
+			}
+			var fr server.FiltersResponse
+			if json.Unmarshal(n.Response, &fr) == nil {
+				fmt.Printf("node %s:\n", n.Node)
+				printFilters("  ", fr)
+			}
+		}
+		return nil
 	}
 	var resp server.FiltersResponse
 	if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
@@ -254,11 +327,16 @@ func (c *client) getJSONFilters() error {
 		_, werr := os.Stdout.Write(buf.Bytes())
 		return werr
 	}
+	printFilters("", resp)
+	return nil
+}
+
+func printFilters(indent string, resp server.FiltersResponse) {
 	for _, ts := range resp.Targets {
-		fmt.Printf("target %s: active v%d, %d versions, reservoir %d samples\n",
-			ts.Target, ts.ActiveVersion, len(ts.Versions), ts.Reservoir)
+		fmt.Printf("%starget %s: active v%d, %d versions, reservoir %d samples\n",
+			indent, ts.Target, ts.ActiveVersion, len(ts.Versions), ts.Reservoir)
 		for _, v := range ts.Versions {
-			fmt.Printf("  v%-3d %-11s %-24q hash=%s", v.Version, v.State, v.Label, v.RuleHash)
+			fmt.Printf("%s  v%-3d %-11s %-24q hash=%s", indent, v.Version, v.State, v.Label, v.RuleHash)
 			if v.Samples > 0 {
 				fmt.Printf(" samples=%d/%d", v.Samples, v.HoldoutSamples)
 			}
@@ -268,10 +346,12 @@ func (c *client) getJSONFilters() error {
 			fmt.Println()
 		}
 	}
-	return nil
 }
 
 func printAction(verb string, body []byte) error {
+	if printBroadcast(body) {
+		return nil
+	}
 	var resp server.FilterActionResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		_, werr := os.Stdout.Write(body)
@@ -282,6 +362,33 @@ func printAction(verb string, body []byte) error {
 	return nil
 }
 
+// printBroadcast recognises a schedgate broadcast body (retrain,
+// activate, rollback fanned across the cluster) and prints the per-node
+// outcomes plus the convergence verdict. Returns false for single-node
+// response shapes.
+func printBroadcast(body []byte) bool {
+	var bc cluster.BroadcastResponse
+	if json.Unmarshal(body, &bc) != nil || bc.Op == "" || len(bc.Nodes) == 0 {
+		return false
+	}
+	fmt.Printf("cluster %s: %d ok, %d failed\n", bc.Op, bc.OK, bc.Failed)
+	for _, n := range bc.Nodes {
+		if n.Error != "" {
+			fmt.Printf("  %-12s HTTP %d: %s\n", n.Node, n.Status, n.Error)
+		} else {
+			fmt.Printf("  %-12s ok\n", n.Node)
+		}
+	}
+	for _, tc := range bc.Convergence {
+		verdict := "NOT converged"
+		if tc.Converged {
+			verdict = "converged"
+		}
+		fmt.Printf("  target %s: %s\n", tc.Target, verdict)
+	}
+	return true
+}
+
 // runRetrain triggers one retraining round and reports the outcome.
 func runRetrain(c *client, args []string) error {
 	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
@@ -289,13 +396,16 @@ func runRetrain(c *client, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	body, err := c.post("/v1/retrain", server.RetrainRequest{Target: *target})
+	r, err := c.post("/v1/retrain", server.RetrainRequest{Target: *target})
 	if err != nil {
 		return err
 	}
+	if printBroadcast(r.Body) {
+		return nil
+	}
 	var resp server.RetrainResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
-		_, werr := os.Stdout.Write(body)
+	if err := json.Unmarshal(r.Body, &resp); err != nil {
+		_, werr := os.Stdout.Write(r.Body)
 		return werr
 	}
 	for _, rep := range resp.Reports {
@@ -329,10 +439,14 @@ func metricValue(text, name string) int64 {
 	return v
 }
 
-func (c *client) scrape() (map[string]int64, error) {
+// scrape reads the service's metrics. hasCache reports whether the
+// exposition carries the backend's codecache series — a schedgate's
+// /metrics does not (its backends each have their own), so loadgen
+// skips the cache report when pointed at a gateway.
+func (c *client) scrape() (vals map[string]int64, hasCache bool, err error) {
 	var buf bytes.Buffer
 	if err := c.getText("/metrics", &buf); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	out := map[string]int64{}
 	for _, name := range []string{
@@ -341,7 +455,7 @@ func (c *client) scrape() (map[string]int64, error) {
 	} {
 		out[name] = metricValue(buf.String(), name)
 	}
-	return out, nil
+	return out, strings.Contains(buf.String(), "schedserved_scheduler_runs_total"), nil
 }
 
 func runLoadgen(c *client, args []string) error {
@@ -361,7 +475,7 @@ func runLoadgen(c *client, args []string) error {
 	}
 	req := server.ScheduleRequest{ProgramInput: in, FilterSpec: server.FilterSpec{Filter: *filter}}
 
-	before, err := c.scrape()
+	before, hasCache, err := c.scrape()
 	if err != nil {
 		return err
 	}
@@ -374,9 +488,12 @@ func runLoadgen(c *client, args []string) error {
 		wg         sync.WaitGroup
 		// versionMix tallies which filter version served each response —
 		// under retrain-under-load the mix flips from the old version to
-		// the new one mid-run.
+		// the new one mid-run. nodeMix tallies which node answered
+		// (X-Sched-Node) — against a gateway it shows the routing split,
+		// and a node killed mid-run shows its traffic failing over.
 		mixMu      sync.Mutex
 		versionMix = map[string]int64{}
+		nodeMix    = map[string]int64{}
 	)
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
@@ -385,7 +502,7 @@ func runLoadgen(c *client, args []string) error {
 			defer wg.Done()
 			for next.Add(1) <= int64(*n) {
 				t0 := time.Now()
-				body, err := c.post("/v1/schedule", req)
+				r, err := c.post("/v1/schedule", req)
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -398,23 +515,30 @@ func runLoadgen(c *client, args []string) error {
 						break
 					}
 				}
+				node := r.Header.Get("X-Sched-Node")
 				var sr server.ScheduleResponse
-				if json.Unmarshal(body, &sr) == nil {
-					key := sr.Filter
+				ver := ""
+				if json.Unmarshal(r.Body, &sr) == nil {
+					ver = sr.Filter
 					if sr.FilterVersion > 0 {
-						key = fmt.Sprintf("v%d %q", sr.FilterVersion, sr.Filter)
+						ver = fmt.Sprintf("v%d %q", sr.FilterVersion, sr.Filter)
 					}
-					mixMu.Lock()
-					versionMix[key]++
-					mixMu.Unlock()
 				}
+				mixMu.Lock()
+				if ver != "" {
+					versionMix[ver]++
+				}
+				if node != "" {
+					nodeMix[node]++
+				}
+				mixMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	after, err := c.scrape()
+	after, _, err := c.scrape()
 	if err != nil {
 		return err
 	}
@@ -440,8 +564,10 @@ func runLoadgen(c *client, args []string) error {
 			time.Duration(latencySum.Load()/ok).Round(time.Microsecond),
 			time.Duration(latencyMax.Load()).Round(time.Microsecond))
 	}
-	fmt.Printf("loadgen: cache +%d hits / +%d misses (hit rate %.1f%%), scheduler runs +%d\n",
-		hits, misses, 100*hitRate, runs)
+	if hasCache {
+		fmt.Printf("loadgen: cache +%d hits / +%d misses (hit rate %.1f%%), scheduler runs +%d\n",
+			hits, misses, 100*hitRate, runs)
+	}
 	if len(versionMix) > 0 {
 		keys := make([]string, 0, len(versionMix))
 		for k := range versionMix {
@@ -451,6 +577,18 @@ func runLoadgen(c *client, args []string) error {
 		fmt.Printf("loadgen: filter mix:")
 		for _, k := range keys {
 			fmt.Printf(" %s ×%d", k, versionMix[k])
+		}
+		fmt.Println()
+	}
+	if len(nodeMix) > 0 {
+		keys := make([]string, 0, len(nodeMix))
+		for k := range nodeMix {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("loadgen: node mix:")
+		for _, k := range keys {
+			fmt.Printf(" %s ×%d", k, nodeMix[k])
 		}
 		fmt.Println()
 	}

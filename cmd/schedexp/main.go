@@ -11,12 +11,13 @@
 //	schedexp -exp server -json -out /tmp/s.json    # ...to an explicit path
 //	schedexp -exp targets -json                    # cross-target matrix → BENCH_targets.json
 //	schedexp -exp online -json                     # retrain-under-load loop → BENCH_online.json
+//	schedexp -exp cluster -json                    # gateway + 3 backends → BENCH_cluster.json
 //	schedexp -exp table4 -target wide4             # the paper tables under another machine
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server pipeline targets online all
+//	sbfilter adaptive server pipeline targets online cluster all
 //
 // -experiment is an alias for -exp. -target picks the machine model the
 // experiments run against by registry name (default mpc7410; see
@@ -302,6 +303,21 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, js
 		}
 		fmt.Println(res.Render())
 		if err := writeArtifact(jsonOut, outPath, "BENCH_targets.json", res); err != nil {
+			return err
+		}
+	}
+	// The cluster experiment boots three compile servers plus the
+	// schedgate gateway in-process: broadcast retrain convergence,
+	// consistent-hash routing determinism, single- vs multi-node
+	// throughput, and the batch fan-out. Runs by name only.
+	if exp == "cluster" {
+		did = true
+		res, err := serverbench.RunCluster(serverbench.ClusterConfig{Jobs: jobs})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_cluster.json", res); err != nil {
 			return err
 		}
 	}

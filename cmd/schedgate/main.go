@@ -1,0 +1,94 @@
+// Command schedgate is the cluster gateway: it fronts N schedserved
+// backends and makes them look like one compile service.
+//
+// Usage:
+//
+//	schedgate -backends a=http://127.0.0.1:8723,b=http://127.0.0.1:8733
+//	          [-addr :8724] [-check-every 250ms] [-timeout 60s]
+//	          [-retries 2] [-hedge-after 300ms] [-replicas 128]
+//	          [-drain 10s] [-j N]
+//
+// Compile-path requests (/v1/compile, /v1/schedule, /v1/predict,
+// /v1/execute) are routed by consistent hashing on the request's program
+// content, so repeat compilations of the same program land on the node
+// whose scheduled-block cache already holds its blocks. Failures fail
+// over down the key's preference order with bounded retries and
+// exponential backoff, and a hedged duplicate goes to the next node when
+// the primary exceeds -hedge-after. POST /v1/batch fans a list of
+// programs across the shards in one call.
+//
+// Filter-lifecycle operations (/v1/retrain, /v1/filters/{v}/activate,
+// /v1/filters/rollback) broadcast to every healthy backend; GET
+// /v1/cluster reports per-node health and filter versions plus a
+// per-target convergence verdict. GET /healthz and GET /metrics
+// (schedgate_* series) cover the gateway itself.
+//
+// Backends are polled every -check-every; a node answering anything but
+// 200 "ok" (including 503 "draining" during its graceful shutdown)
+// leaves the rotation until it recovers. Shutdown on SIGINT/SIGTERM is
+// graceful in the same LB-friendly order as schedserved: /healthz flips
+// to 503 first, then the listener closes and in-flight proxies drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"schedfilter/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8724", "listen address")
+	backends := flag.String("backends", "", "comma-separated backends, each [name=]http://host:port (required)")
+	checkEvery := flag.Duration("check-every", 250*time.Millisecond, "backend health-poll interval")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-attempt timeout for proxied requests")
+	retries := flag.Int("retries", 2, "re-attempts after a transient failure (walks the failover order)")
+	hedgeAfter := flag.Duration("hedge-after", 300*time.Millisecond, "latency budget before a hedged duplicate goes to the next node (<0 disables)")
+	replicas := flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = 128)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	jobs := flag.Int("j", 0, "batch/broadcast fan-out width (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	members, err := cluster.ParseMembers(*backends)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cluster.New(cluster.Config{
+		Members:       members,
+		Replicas:      *replicas,
+		CheckInterval: *checkEvery,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		HedgeAfter:    *hedgeAfter,
+		Jobs:          *jobs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	fmt.Fprintf(os.Stderr, "schedgate: listening on %s, fronting %d backends (%s)\n",
+		*addr, len(members), strings.Join(names, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := g.ListenAndServe(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "schedgate: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedgate:", err)
+	os.Exit(1)
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	schedserved [-addr :8723] [-model rules.txt] [-filter factory]
+//	schedserved [-addr :8723] [-node NAME] [-model rules.txt] [-filter factory]
 //	            [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
 //	            [-target mpc7410]
 //	            [-online] [-retrain-every 0] [-spill DIR]
@@ -23,6 +23,11 @@
 // default serving filter atomically. GET /v1/filters lists every version;
 // POST /v1/filters/{v}/activate and /v1/filters/rollback steer it by hand.
 // -spill persists reservoirs across restarts as JSONL under DIR.
+//
+// The -node flag names the instance for cluster deployments behind
+// schedgate: the name comes back on /healthz and as the X-Sched-Node
+// response header, which is how the gateway and loadgen attribute
+// traffic to nodes. It defaults to the listen address.
 //
 // The -target flag picks the default machine target for requests that do
 // not name one; every registered target is servable per-request either
@@ -64,6 +69,7 @@ var factoryModel string
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address")
+	node := flag.String("node", "", "this instance's cluster node name, reported on /healthz and X-Sched-Node (default: the listen address)")
 	modelPath := flag.String("model", "", "model file to boot the induced filter from (default: embedded factory model)")
 	filterName := flag.String("filter", "factory", "default request filter: factory, LS, NS, or size:N")
 	workers := flag.Int("workers", 0, "compile worker pool size (0 = GOMAXPROCS)")
@@ -91,7 +97,11 @@ func main() {
 		fatal(err)
 	}
 
+	if *node == "" {
+		*node = *addr
+	}
 	s := server.New(server.Config{
+		Node:        *node,
 		Filter:      filter,
 		Workers:     *workers,
 		QueueDepth:  *queue,

@@ -1,0 +1,247 @@
+// Package cluster scales the compile service horizontally: a gateway
+// fronts N schedserved backends and routes every compile request by
+// consistent hashing on the program's content identity, so identical
+// programs always land on the node whose scheduled-block cache already
+// holds their blocks. Routing a program across heterogeneous backends is
+// itself a scheduling-selection decision — the same shape as the
+// paper's whether-to-schedule question, lifted one level up.
+//
+// The pieces:
+//
+//   - ring: an immutable consistent-hash ring (virtual nodes) mapping a
+//     program's content key to a deterministic preference order over
+//     members. Health filters the order at pick time, so one dead node
+//     remaps only its own keys.
+//   - membership + health: every member is polled at CheckInterval;
+//     a node whose /healthz answers anything but 200 "ok" (including
+//     503 "draining" during graceful shutdown) leaves the routing set
+//     until it recovers. Health responses carry each node's active
+//     filter versions, which is how convergence is observed.
+//   - gateway: the HTTP front. Compile-path requests are proxied to the
+//     key's first healthy member with bounded retries (exponential
+//     backoff + jitter) across the failover sequence, plus one hedged
+//     request to the next member when the primary exceeds the latency
+//     budget — tail latency is bounded by the second-slowest node, and
+//     a node killed mid-request loses nothing. A batch endpoint fans a
+//     slice of programs out across the shards via internal/par.
+//   - filter replication: the online-learning lifecycle operations
+//     (retrain, activate, rollback) broadcast to every healthy member,
+//     and GET /v1/cluster reports per-node filter versions plus a
+//     per-target convergence verdict, so a hot-swap rolls out — and is
+//     seen to roll out — cluster-wide.
+//
+// The daemon wrapper is cmd/schedgate; cmd/schedctl speaks to a gateway
+// exactly as it speaks to a single node (same endpoints), plus the
+// cluster status command.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"schedfilter/internal/httpc"
+	"schedfilter/internal/par"
+	"schedfilter/internal/server"
+)
+
+// Member names one backend: a display name (node identity in routing
+// metrics and convergence reports) and its base URL.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParseMembers parses a -backends flag value: comma-separated entries,
+// each "name=url" or bare "url" (the name then defaults to the URL's
+// host:port).
+func ParseMembers(spec string) ([]Member, error) {
+	var out []Member
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		m := Member{URL: entry}
+		if eq := strings.Index(entry, "="); eq >= 0 && !strings.Contains(entry[:eq], "/") {
+			if eq == 0 {
+				return nil, fmt.Errorf("cluster: bad backend %q (empty name)", entry)
+			}
+			m.Name, m.URL = entry[:eq], entry[eq+1:]
+		}
+		u, err := url.Parse(m.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad backend %q (want [name=]http://host:port)", entry)
+		}
+		m.URL = strings.TrimRight(m.URL, "/")
+		if m.Name == "" {
+			m.Name = u.Host
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	return out, nil
+}
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Members are the backends. Names must be unique.
+	Members []Member
+	// Replicas is the virtual-node count per member on the hash ring;
+	// 0 selects 128.
+	Replicas int
+	// CheckInterval is the health-poll period; 0 selects 250ms. The
+	// server's drain notice is sized to exceed it, so a draining node is
+	// out of rotation before its listener closes.
+	CheckInterval time.Duration
+	// Timeout bounds one proxied attempt end to end; 0 selects 60s.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first on transient
+	// failure (transport error, 429, 5xx), walking the key's failover
+	// sequence; 0 selects 2. Negative disables retries.
+	Retries int
+	// HedgeAfter is the latency budget: when the primary has not
+	// answered within it, a hedged duplicate goes to the next member in
+	// the preference order and the first success wins. 0 selects 300ms;
+	// negative disables hedging.
+	HedgeAfter time.Duration
+	// Jobs bounds batch and broadcast fan-out width; 0 selects
+	// GOMAXPROCS.
+	Jobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = defaultReplicas
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 300 * time.Millisecond
+	}
+	return c
+}
+
+// member is one backend's runtime state: clients, health flag, and the
+// last health response (the convergence identity source).
+type member struct {
+	Member
+	// health polls /healthz with a short budget of its own; control is
+	// the client for broadcast lifecycle operations.
+	health  *httpc.Client
+	control *httpc.Client
+	healthy atomic.Bool
+	last    atomic.Pointer[memberHealth]
+}
+
+// memberHealth is one poll's outcome.
+type memberHealth struct {
+	at   time.Time
+	err  string
+	ok   bool
+	resp server.HealthResponse
+}
+
+// healthTimeout bounds one health probe; a hung node must not stall the
+// whole poll round.
+const healthTimeout = 2 * time.Second
+
+// check polls one member and updates its health state. A member is
+// healthy exactly when /healthz answers 200 with status "ok"; a
+// draining node's 503 takes it out of rotation while its in-flight work
+// finishes.
+func (g *Gateway) check(m *member) {
+	h := &memberHealth{at: time.Now()}
+	resp, err := m.health.Get("/healthz")
+	switch {
+	case err != nil:
+		h.err = err.Error()
+	case resp.Status != 200:
+		// Parse the body anyway: a draining node still reports its
+		// identity and filter versions.
+		_ = json.Unmarshal(resp.Body, &h.resp)
+		h.err = fmt.Sprintf("HTTP %d (%s)", resp.Status, orUnknown(h.resp.Status))
+	default:
+		if err := json.Unmarshal(resp.Body, &h.resp); err != nil {
+			h.err = fmt.Sprintf("bad health body: %v", err)
+		} else if h.resp.Status != "ok" {
+			h.err = fmt.Sprintf("status %q", h.resp.Status)
+		} else {
+			h.ok = true
+		}
+	}
+	m.last.Store(h)
+	m.healthy.Store(h.ok)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unreachable"
+	}
+	return s
+}
+
+// CheckNow polls every member concurrently and returns when the health
+// picture is current. The background checker calls it on a ticker; the
+// cluster-status endpoint calls it so convergence reports are live, and
+// tests call it to skip the poll interval.
+func (g *Gateway) CheckNow() {
+	par.Do(par.Jobs(g.cfg.Jobs), len(g.order), func(i int) {
+		g.check(g.members[g.order[i]])
+	})
+}
+
+// checker is the background health poller.
+func (g *Gateway) checker() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.CheckNow()
+		}
+	}
+}
+
+// healthyPrefs filters the key's ring preference order down to healthy
+// members: the first entry is the key's healthy primary, the rest the
+// failover sequence.
+func (g *Gateway) healthyPrefs(key string) []*member {
+	names := g.ring.pick(key)
+	out := make([]*member, 0, len(names))
+	for _, name := range names {
+		if m := g.members[name]; m.healthy.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// healthyCount returns how many members are currently in rotation.
+func (g *Gateway) healthyCount() int {
+	n := 0
+	for _, name := range g.order {
+		if g.members[name].healthy.Load() {
+			n++
+		}
+	}
+	return n
+}

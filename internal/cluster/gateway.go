@@ -1,0 +1,649 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schedfilter/internal/httpc"
+	"schedfilter/internal/par"
+	"schedfilter/internal/server"
+)
+
+// maxBody bounds gateway request bodies, matching the backend's bound.
+const maxBody = 8 << 20
+
+// maxBatch bounds one batch request's item count.
+const maxBatch = 1024
+
+// Gateway is the cluster front: it owns the ring, the member registry
+// and health checker, and the HTTP surface. Create with New, serve
+// Handler (or ListenAndServe), and Close to stop the checker.
+type Gateway struct {
+	cfg     Config
+	ring    *ring
+	members map[string]*member
+	order   []string // member names, config order
+	// data is the data-plane client for proxied attempts; per-attempt
+	// retry/hedge policy lives in forward, not in the client.
+	data    *http.Client
+	metrics *gwMetrics
+	mux     *http.ServeMux
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	draining atomic.Bool
+}
+
+// New builds a gateway over cfg.Members, runs one synchronous health
+// poll so the first request already has a health picture, and starts
+// the background checker.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		members: make(map[string]*member, len(cfg.Members)),
+		data:    &http.Client{Timeout: cfg.Timeout},
+		stop:    make(chan struct{}),
+	}
+	for _, mem := range cfg.Members {
+		if mem.Name == "" || mem.URL == "" {
+			return nil, fmt.Errorf("cluster: member needs name and URL (got %+v)", mem)
+		}
+		if _, dup := g.members[mem.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", mem.Name)
+		}
+		g.members[mem.Name] = &member{
+			Member:  mem,
+			health:  httpc.New(mem.URL, healthTimeout, 0),
+			control: httpc.New(mem.URL, cfg.Timeout, 0),
+		}
+		g.order = append(g.order, mem.Name)
+	}
+	g.ring = newRing(g.order, cfg.Replicas)
+	g.metrics = newGwMetrics(g.order,
+		"compile", "schedule", "predict", "execute",
+		"batch", "cluster", "filters", "retrain", "activate", "rollback")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", g.proxy("compile"))
+	mux.HandleFunc("POST /v1/schedule", g.proxy("schedule"))
+	mux.HandleFunc("POST /v1/predict", g.proxy("predict"))
+	mux.HandleFunc("POST /v1/execute", g.proxy("execute"))
+	mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	mux.HandleFunc("GET /v1/filters", g.handleFilters)
+	mux.HandleFunc("POST /v1/filters/{version}/activate", g.handleActivate)
+	mux.HandleFunc("POST /v1/filters/rollback", g.handleRollback)
+	mux.HandleFunc("POST /v1/retrain", g.handleRetrain)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux = mux
+
+	g.CheckNow()
+	g.wg.Add(1)
+	go g.checker()
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Close stops the background health checker. In-flight proxied requests
+// are unaffected.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// RoutingKey derives a request's routing identity from its program
+// content: the machine target plus the program text (inline source or
+// workload name). It is a pre-compile proxy for the scheduled-block
+// fingerprint — equal request content always hashes to the same member,
+// so repeat compilations of a program land where its blocks are cached,
+// without the gateway ever compiling anything.
+func RoutingKey(target, source, workload string) string {
+	return target + "\x00" + source + "\x00" + workload
+}
+
+// Preference returns the members (names, config identity) in the key's
+// ring preference order, health ignored — the deterministic routing
+// table tests and benchmarks compare against.
+func (g *Gateway) Preference(key string) []string { return g.ring.pick(key) }
+
+// Routed returns how many data-plane attempts each member has received.
+func (g *Gateway) Routed() map[string]int64 { return g.metrics.routedSnapshot() }
+
+// proxyResult is one compile-path request's outcome after routing.
+type proxyResult struct {
+	status int
+	body   []byte
+	// member is the member the answer came from; node is the backend's
+	// own identity header (usually equal).
+	member   string
+	node     string
+	attempts int
+	err      error // total transport failure (status 0)
+}
+
+// proxy wraps one compile-path endpoint: read the body, route by
+// content key, forward with retries + hedging, relay the answer.
+func (g *Gateway) proxy(ep string) http.HandlerFunc {
+	path := "/v1/" + ep
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := g.metrics.endpoint(ep)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+			return
+		}
+		res := g.route(r.Context(), path, body)
+		g.relay(w, st, start, res)
+	}
+}
+
+// route picks the request's healthy preference order by content key and
+// forwards. It never decodes more of the body than the routing fields.
+func (g *Gateway) route(ctx context.Context, path string, body []byte) proxyResult {
+	var pin struct {
+		Source   string `json:"source"`
+		Workload string `json:"workload"`
+		Target   string `json:"target"`
+	}
+	if err := json.Unmarshal(body, &pin); err != nil {
+		return proxyResult{status: http.StatusBadRequest,
+			body: mustJSON(server.ErrorResponse{Error: "bad request: " + err.Error()})}
+	}
+	prefs := g.healthyPrefs(RoutingKey(pin.Target, pin.Source, pin.Workload))
+	if len(prefs) == 0 {
+		g.metrics.noHealthy.Add(1)
+		return proxyResult{status: http.StatusServiceUnavailable,
+			body: mustJSON(server.ErrorResponse{Error: "no healthy backends"})}
+	}
+	res := g.forward(ctx, path, prefs, body)
+	if res.err == nil && res.member != "" && res.member != prefs[0].Name {
+		g.metrics.failovers.Add(1)
+	}
+	return res
+}
+
+// forward runs the retry/hedge loop over the preference order:
+//
+//   - attempt 1 goes to the key's healthy primary;
+//   - if no answer arrives within HedgeAfter, a hedged duplicate goes to
+//     the next member and the first success wins (the loser's request is
+//     cancelled);
+//   - transient failures (transport error, 429, 5xx) consume the retry
+//     budget walking further down the order, with exponential backoff
+//     only when nothing else is in flight;
+//   - a non-retryable answer (2xx, or a 4xx client fault) is relayed
+//     as-is from whichever member produced it first.
+func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, body []byte) proxyResult {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	maxAttempts := 1 + g.cfg.Retries
+	resc := make(chan proxyResult, maxAttempts+1)
+	launched := 0
+	launch := func() {
+		m := prefs[launched%len(prefs)]
+		launched++
+		g.metrics.routedTo(m.Name)
+		go func() { resc <- g.attempt(ctx, path, m, body) }()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if g.cfg.HedgeAfter > 0 && maxAttempts > 1 && len(prefs) > 1 {
+		t := time.NewTimer(g.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	inflight := 1
+	var last proxyResult
+	for {
+		select {
+		case res := <-resc:
+			inflight--
+			res.attempts = launched
+			if res.err == nil && !httpc.Retryable(res.status) {
+				return res
+			}
+			last = res
+			if launched < maxAttempts {
+				if inflight == 0 {
+					// Sole failure: back off before the next member. With a
+					// hedge still in flight there is nothing to wait for.
+					sleepCtx(ctx, httpc.BackoffDelay(httpc.DefaultBackoff, launched))
+				}
+				g.metrics.retries.Add(1)
+				launch()
+				inflight++
+			} else if inflight == 0 {
+				return last
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < maxAttempts {
+				g.metrics.hedges.Add(1)
+				launch()
+				inflight++
+			}
+		}
+	}
+}
+
+// attempt runs one proxied request against one member.
+func (g *Gateway) attempt(ctx context.Context, path string, m *member, body []byte) proxyResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return proxyResult{member: m.Name, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.data.Do(req)
+	if err != nil {
+		// Transport failure: pull the member out of rotation immediately
+		// instead of waiting out a poll period — the checker restores it
+		// when it recovers. A cancelled hedge loser is not evidence.
+		if ctx.Err() == nil {
+			m.healthy.Store(false)
+		}
+		return proxyResult{member: m.Name, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return proxyResult{member: m.Name, err: err}
+	}
+	node := resp.Header.Get("X-Sched-Node")
+	if node == "" {
+		node = m.Name
+	}
+	return proxyResult{status: resp.StatusCode, body: b, member: m.Name, node: node}
+}
+
+// relay writes a routed result to the client, preserving the backend's
+// status and body and attributing the answering node.
+func (g *Gateway) relay(w http.ResponseWriter, st *gwEpStats, start time.Time, res proxyResult) {
+	if res.err != nil {
+		g.replyJSON(w, st, start, http.StatusBadGateway,
+			server.ErrorResponse{Error: fmt.Sprintf("all backends failed after %d attempts: %v", res.attempts, res.err)})
+		return
+	}
+	st.record(res.status, time.Since(start))
+	if res.node != "" {
+		w.Header().Set("X-Sched-Node", res.node)
+	}
+	if res.attempts > 0 {
+		w.Header().Set("X-Sched-Attempts", strconv.Itoa(res.attempts))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	st := g.metrics.endpoint("batch")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Op == "" {
+		req.Op = "schedule"
+	}
+	switch req.Op {
+	case "compile", "schedule", "predict", "execute":
+	default:
+		g.replyJSON(w, st, start, http.StatusBadRequest,
+			server.ErrorResponse{Error: fmt.Sprintf("bad op %q (want compile, schedule, predict, or execute)", req.Op)})
+		return
+	}
+	if len(req.Items) == 0 {
+		g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: "batch needs items"})
+		return
+	}
+	if len(req.Items) > maxBatch {
+		g.replyJSON(w, st, start, http.StatusBadRequest,
+			server.ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Items), maxBatch)})
+		return
+	}
+	path := "/v1/" + req.Op
+	resp := BatchResponse{Op: req.Op, Items: make([]BatchItemResult, len(req.Items)), Nodes: map[string]int{}}
+	par.Do(par.Jobs(g.cfg.Jobs), len(req.Items), func(i int) {
+		res := g.route(r.Context(), path, req.Items[i])
+		item := BatchItemResult{Index: i, Node: res.node, Status: res.status}
+		switch {
+		case res.err != nil:
+			item.Status = http.StatusBadGateway
+			item.Error = res.err.Error()
+		case res.status == http.StatusOK:
+			item.Response = json.RawMessage(res.body)
+		default:
+			var e server.ErrorResponse
+			_ = json.Unmarshal(res.body, &e)
+			item.Error = e.Error
+			if item.Error == "" {
+				item.Error = fmt.Sprintf("HTTP %d", res.status)
+			}
+		}
+		resp.Items[i] = item
+	})
+	for _, item := range resp.Items {
+		if item.Status == http.StatusOK {
+			resp.OK++
+			resp.Nodes[item.Node]++
+		} else {
+			resp.Failed++
+		}
+	}
+	resp.WallNs = time.Since(start).Nanoseconds()
+	g.metrics.batchItems.Add(int64(len(req.Items)))
+	g.replyJSON(w, st, start, http.StatusOK, resp)
+}
+
+// broadcast applies one lifecycle operation to every healthy member and
+// re-polls health afterwards so the convergence report reflects the
+// post-operation filter versions.
+func (g *Gateway) broadcast(op, path string, body []byte, get bool) (int, BroadcastResponse) {
+	var targets []*member
+	for _, name := range g.order {
+		if m := g.members[name]; m.healthy.Load() {
+			targets = append(targets, m)
+		}
+	}
+	resp := BroadcastResponse{Op: op, Nodes: make([]NodeResult, len(targets))}
+	if len(targets) == 0 {
+		return http.StatusServiceUnavailable, resp
+	}
+	g.metrics.broadcasts.Add(1)
+	par.Do(par.Jobs(g.cfg.Jobs), len(targets), func(i int) {
+		m := targets[i]
+		var r *httpc.Response
+		var err error
+		if get {
+			r, err = m.control.Get(path)
+		} else {
+			r, err = m.control.PostBytes(path, body)
+		}
+		node := NodeResult{Node: m.Name}
+		switch {
+		case err != nil:
+			node.Status = http.StatusBadGateway
+			node.Error = err.Error()
+		case r.Status == http.StatusOK:
+			node.Status = r.Status
+			node.Response = json.RawMessage(r.Body)
+		default:
+			node.Status = r.Status
+			var e server.ErrorResponse
+			_ = json.Unmarshal(r.Body, &e)
+			node.Error = e.Error
+			if node.Error == "" {
+				node.Error = fmt.Sprintf("HTTP %d", r.Status)
+			}
+		}
+		resp.Nodes[i] = node
+	})
+	for _, n := range resp.Nodes {
+		if n.Status == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	g.CheckNow()
+	resp.Convergence = g.convergence()
+	status := http.StatusOK
+	if resp.OK == 0 {
+		status = http.StatusBadGateway
+	}
+	return status, resp
+}
+
+// broadcastHandler wraps one lifecycle endpoint; pathFn derives the
+// backend path (activate embeds the version path parameter).
+func (g *Gateway) broadcastHandler(op string, pathFn func(r *http.Request) string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := g.metrics.endpoint(op)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+			return
+		}
+		if len(bytes.TrimSpace(body)) == 0 {
+			body = []byte("{}")
+		}
+		status, resp := g.broadcast(op, pathFn(r), body, false)
+		g.replyJSON(w, st, start, status, resp)
+	}
+}
+
+func (g *Gateway) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	g.broadcastHandler("retrain", func(*http.Request) string { return "/v1/retrain" })(w, r)
+}
+
+func (g *Gateway) handleActivate(w http.ResponseWriter, r *http.Request) {
+	g.broadcastHandler("activate", func(r *http.Request) string {
+		return "/v1/filters/" + r.PathValue("version") + "/activate"
+	})(w, r)
+}
+
+func (g *Gateway) handleRollback(w http.ResponseWriter, r *http.Request) {
+	g.broadcastHandler("rollback", func(*http.Request) string { return "/v1/filters/rollback" })(w, r)
+}
+
+// handleFilters fans GET /v1/filters out to every healthy member and
+// returns the per-node registries side by side.
+func (g *Gateway) handleFilters(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	st := g.metrics.endpoint("filters")
+	status, resp := g.broadcast("filters", "/v1/filters", nil, true)
+	g.replyJSON(w, st, start, status, resp)
+}
+
+// convergence folds the members' last health reports into per-target
+// verdicts. A target converged when every healthy online member reports
+// the same active version number for it.
+func (g *Gateway) convergence() []TargetConvergence {
+	online := 0
+	byTarget := map[string]*TargetConvergence{}
+	for _, name := range g.order {
+		h := g.members[name].last.Load()
+		if h == nil || !h.ok || !h.resp.Online {
+			continue
+		}
+		online++
+		for _, af := range h.resp.ActiveFilters {
+			tc := byTarget[af.Target]
+			if tc == nil {
+				tc = &TargetConvergence{
+					Target:   af.Target,
+					Versions: map[string]int{},
+					Hashes:   map[string]string{},
+				}
+				byTarget[af.Target] = tc
+			}
+			tc.Versions[name] = af.Version
+			tc.Hashes[name] = af.RuleHash
+		}
+	}
+	names := make([]string, 0, len(byTarget))
+	for t := range byTarget {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	out := make([]TargetConvergence, 0, len(names))
+	for _, t := range names {
+		tc := byTarget[t]
+		tc.Converged = len(tc.Versions) == online && allEqualInt(tc.Versions)
+		tc.HashConverged = tc.Converged && allEqualStr(tc.Hashes)
+		out = append(out, *tc)
+	}
+	return out
+}
+
+func allEqualInt(m map[string]int) bool {
+	first, have := 0, false
+	for _, v := range m {
+		if !have {
+			first, have = v, true
+		} else if v != first {
+			return false
+		}
+	}
+	return true
+}
+
+func allEqualStr(m map[string]string) bool {
+	first, have := "", false
+	for _, v := range m {
+		if !have {
+			first, have = v, true
+		} else if v != first {
+			return false
+		}
+	}
+	return true
+}
+
+// handleCluster answers the membership + convergence report from a
+// fresh poll.
+func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	st := g.metrics.endpoint("cluster")
+	g.CheckNow()
+	resp := ClusterResponse{Total: len(g.order), Replicas: g.cfg.Replicas}
+	for _, name := range g.order {
+		m := g.members[name]
+		ms := MemberStatus{Name: name, URL: m.URL}
+		if h := m.last.Load(); h != nil {
+			ms.Healthy = h.ok
+			ms.Error = h.err
+			ms.Node = h.resp.Node
+			ms.Target = h.resp.Target
+			ms.Filter = h.resp.Filter
+			ms.FilterVersion = h.resp.FilterVersion
+			ms.Online = h.resp.Online
+			ms.Draining = h.resp.Draining
+			ms.ActiveFilters = h.resp.ActiveFilters
+			ms.CheckedMsAgo = time.Since(h.at).Milliseconds()
+		}
+		if ms.Healthy {
+			resp.Healthy++
+		}
+		resp.Members = append(resp.Members, ms)
+	}
+	resp.Convergence = g.convergence()
+	g.replyJSON(w, st, start, http.StatusOK, resp)
+}
+
+// BeginDrain flips the gateway's own health endpoint to 503, for
+// stacking gateways behind a further balancer.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := GatewayHealth{Status: "ok", Members: len(g.order), Healthy: g.healthyCount()}
+	status := http.StatusOK
+	if g.draining.Load() {
+		resp.Status = "draining"
+		resp.Draining = true
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, g.metrics.render(g))
+}
+
+func (g *Gateway) replyJSON(w http.ResponseWriter, st *gwEpStats, start time.Time, status int, v any) {
+	st.record(status, time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// gatewayDrainNotice mirrors the backend's drain notice: how long the
+// gateway's /healthz advertises draining before its listener closes.
+const gatewayDrainNotice = 750 * time.Millisecond
+
+// ListenAndServe runs the gateway on addr until ctx is cancelled, then
+// shuts down in the same LB-friendly order as the backend: health flips
+// first, the listener closes after the notice, in-flight proxies drain.
+func (g *Gateway) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           g.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		g.Close()
+		return err
+	case <-ctx.Done():
+	}
+	g.BeginDrain()
+	select {
+	case err := <-errc:
+		g.Close()
+		return err
+	case <-time.After(gatewayDrainNotice):
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	g.Close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// mustJSON marshals a value the gateway itself constructed; failure is
+// a programming error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

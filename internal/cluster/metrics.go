@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// gwEpStats are one gateway endpoint's counters, the same shape as the
+// backend's per-endpoint stats.
+type gwEpStats struct {
+	ok        atomic.Int64 // 2xx responses
+	clientErr atomic.Int64 // 4xx
+	serverErr atomic.Int64 // 5xx (includes 502/503 total-failure relays)
+	latencyNs atomic.Int64 // Σ latency, successful responses
+	maxNs     atomic.Int64 // max latency, successful responses
+}
+
+func (e *gwEpStats) record(status int, elapsed time.Duration) {
+	switch {
+	case status >= 500:
+		e.serverErr.Add(1)
+	case status >= 400:
+		e.clientErr.Add(1)
+	default:
+		e.ok.Add(1)
+		ns := elapsed.Nanoseconds()
+		e.latencyNs.Add(ns)
+		for {
+			old := e.maxNs.Load()
+			if ns <= old || e.maxNs.CompareAndSwap(old, ns) {
+				break
+			}
+		}
+	}
+}
+
+// gwMetrics aggregates the gateway's observable state: per-endpoint
+// counters, per-member routing tallies, and the retry/hedge/failover
+// totals that describe how much work routing itself is doing.
+type gwMetrics struct {
+	start     time.Time
+	endpoints map[string]*gwEpStats    // fixed key set
+	routed    map[string]*atomic.Int64 // member name → data-plane attempts
+	order     []string                 // member names, config order
+
+	hedges     atomic.Int64 // hedged duplicates launched
+	retries    atomic.Int64 // re-attempts after transient failure
+	failovers  atomic.Int64 // answers served by a non-primary member
+	noHealthy  atomic.Int64 // requests dropped: zero healthy members
+	batchItems atomic.Int64 // items fanned out by /v1/batch
+	broadcasts atomic.Int64 // lifecycle broadcasts
+}
+
+func newGwMetrics(members []string, endpoints ...string) *gwMetrics {
+	m := &gwMetrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*gwEpStats, len(endpoints)),
+		routed:    make(map[string]*atomic.Int64, len(members)),
+		order:     append([]string(nil), members...),
+	}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &gwEpStats{}
+	}
+	for _, name := range members {
+		m.routed[name] = &atomic.Int64{}
+	}
+	return m
+}
+
+func (m *gwMetrics) endpoint(name string) *gwEpStats {
+	if e, ok := m.endpoints[name]; ok {
+		return e
+	}
+	return &gwEpStats{}
+}
+
+func (m *gwMetrics) routedTo(member string) {
+	if c, ok := m.routed[member]; ok {
+		c.Add(1)
+	}
+}
+
+func (m *gwMetrics) routedSnapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.routed))
+	for name, c := range m.routed {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// render writes the gateway's Prometheus text exposition.
+func (m *gwMetrics) render(g *Gateway) string {
+	var b strings.Builder
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	b.WriteString("# HELP schedgate_requests_total Gateway requests by endpoint and outcome.\n")
+	b.WriteString("# TYPE schedgate_requests_total counter\n")
+	for _, name := range names {
+		e := m.endpoints[name]
+		fmt.Fprintf(&b, "schedgate_requests_total{endpoint=%q,outcome=\"ok\"} %d\n", name, e.ok.Load())
+		fmt.Fprintf(&b, "schedgate_requests_total{endpoint=%q,outcome=\"client_error\"} %d\n", name, e.clientErr.Load())
+		fmt.Fprintf(&b, "schedgate_requests_total{endpoint=%q,outcome=\"server_error\"} %d\n", name, e.serverErr.Load())
+	}
+	b.WriteString("# HELP schedgate_latency_ns Gateway latency of successful responses.\n")
+	for _, name := range names {
+		e := m.endpoints[name]
+		fmt.Fprintf(&b, "schedgate_latency_ns_sum{endpoint=%q} %d\n", name, e.latencyNs.Load())
+		fmt.Fprintf(&b, "schedgate_latency_ns_max{endpoint=%q} %d\n", name, e.maxNs.Load())
+	}
+
+	b.WriteString("# HELP schedgate_routed_total Data-plane attempts per member (consistent-hash routing).\n")
+	b.WriteString("# TYPE schedgate_routed_total counter\n")
+	for _, name := range m.order {
+		fmt.Fprintf(&b, "schedgate_routed_total{member=%q} %d\n", name, m.routed[name].Load())
+	}
+
+	b.WriteString("# HELP schedgate_routing Retry, hedge, and failover totals.\n")
+	fmt.Fprintf(&b, "schedgate_hedged_requests_total %d\n", m.hedges.Load())
+	fmt.Fprintf(&b, "schedgate_retried_attempts_total %d\n", m.retries.Load())
+	fmt.Fprintf(&b, "schedgate_failovers_total %d\n", m.failovers.Load())
+	fmt.Fprintf(&b, "schedgate_no_healthy_total %d\n", m.noHealthy.Load())
+	fmt.Fprintf(&b, "schedgate_batch_items_total %d\n", m.batchItems.Load())
+	fmt.Fprintf(&b, "schedgate_broadcasts_total %d\n", m.broadcasts.Load())
+
+	b.WriteString("# HELP schedgate_member_healthy Member health as seen by the checker (1 healthy, 0 not).\n")
+	healthy := 0
+	for _, name := range g.order {
+		up := 0
+		if g.members[name].healthy.Load() {
+			up = 1
+			healthy++
+		}
+		fmt.Fprintf(&b, "schedgate_member_healthy{member=%q} %d\n", name, up)
+	}
+	fmt.Fprintf(&b, "schedgate_members %d\n", len(g.order))
+	fmt.Fprintf(&b, "schedgate_members_healthy %d\n", healthy)
+	draining := 0
+	if g.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "schedgate_draining %d\n", draining)
+	fmt.Fprintf(&b, "schedgate_ring_replicas %d\n", g.cfg.Replicas)
+	fmt.Fprintf(&b, "schedgate_uptime_seconds %d\n", int64(time.Since(m.start).Seconds()))
+	return b.String()
+}

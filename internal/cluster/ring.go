@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over member names. Each member owns
+// Replicas virtual points on a 64-bit circle; a key is routed to the
+// owner of the first point at or after the key's own hash. The point of
+// the construction is cache affinity under membership change: when a
+// node dies, only the keys it owned move (to their next-preferred
+// member) — every other key keeps hitting the node whose scheduled-block
+// cache is already warm with it.
+//
+// The ring is immutable after build. Health is not the ring's concern:
+// Pick returns the full preference order of distinct members and the
+// gateway walks it skipping unhealthy ones, so the mapping "key → first
+// healthy member in preference order" is deterministic for a given
+// health picture without ever rebuilding the ring.
+type ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  []string    // distinct member names, build order
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int // index into members
+}
+
+// defaultReplicas is the virtual-node count per member. 128 points per
+// member keeps the expected load imbalance across a handful of members
+// within a few percent.
+const defaultReplicas = 128
+
+func newRing(members []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{
+		replicas: replicas,
+		members:  append([]string(nil), members...),
+		points:   make([]ringPoint, 0, replicas*len(members)),
+	}
+	for i, name := range r.members {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", name, v)),
+				owner: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break identical hashes by owner so the order (and thus
+		// routing) is deterministic regardless of sort internals.
+		return r.points[a].owner < r.points[b].owner
+	})
+	return r
+}
+
+// hash64 is the first 8 bytes of SHA-256 — the same hash family as the
+// scheduled-block cache keys, so routing quality matches cache-key
+// quality and no second hash function needs auditing.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// pick returns every member exactly once, in the key's preference
+// order: the owner of the first ring point at or after the key's hash,
+// then the owner of the next point with a new owner, and so on. The
+// first entry is the key's primary; the rest are the failover sequence.
+func (r *ring) pick(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, r.members[p.owner])
+		}
+	}
+	return out
+}

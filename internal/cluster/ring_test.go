@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = RoutingKey("", fmt.Sprintf("func f%d() int { return %d; }", i, i), "")
+	}
+	return out
+}
+
+func TestRingPickDeterministicAndComplete(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4"}
+	a := newRing(members, 0)
+	b := newRing(members, 0)
+	for _, k := range keys(200) {
+		pa, pb := a.pick(k), b.pick(k)
+		if len(pa) != len(members) {
+			t.Fatalf("pick(%q) returned %d members, want %d", k, len(pa), len(members))
+		}
+		seen := map[string]bool{}
+		for i, m := range pa {
+			if seen[m] {
+				t.Fatalf("pick(%q) repeats member %s", k, m)
+			}
+			seen[m] = true
+			if m != pb[i] {
+				t.Fatalf("two identical rings disagree on %q: %v vs %v", k, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	r := newRing(members, 0)
+	counts := map[string]int{}
+	n := 3000
+	for _, k := range keys(n) {
+		counts[r.pick(k)[0]]++
+	}
+	// 128 virtual nodes per member keeps the imbalance modest; the exact
+	// split is a fixed function of SHA-256, so the bounds are loose only
+	// to survive changes to the test key set.
+	for _, m := range members {
+		share := float64(counts[m]) / float64(n)
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts %v)", m, 100*share, counts)
+		}
+	}
+}
+
+// The consistent-hashing property: removing one member only remaps the
+// keys that member owned. Everyone else keeps their primary, which is
+// what keeps the surviving nodes' scheduled-block caches warm.
+func TestRingStableUnderMemberLoss(t *testing.T) {
+	full := newRing([]string{"n1", "n2", "n3"}, 0)
+	reduced := newRing([]string{"n1", "n3"}, 0)
+	moved := 0
+	for _, k := range keys(500) {
+		before := full.pick(k)[0]
+		after := reduced.pick(k)[0]
+		if before == "n2" {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %s → %s although n2 was not its primary", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key had n2 as primary — test key set too small")
+	}
+}
+
+// Health filtering walks the same preference order, so a dead primary's
+// keys fail over to their second choice and nothing else changes.
+func TestRingFailoverOrderMatchesReducedRing(t *testing.T) {
+	full := newRing([]string{"n1", "n2", "n3"}, 0)
+	for _, k := range keys(200) {
+		prefs := full.pick(k)
+		if prefs[0] != "n2" {
+			continue
+		}
+		// Skipping the dead n2 in the full order must land where a ring
+		// without n2 would have routed in the first place.
+		reduced := newRing([]string{"n1", "n3"}, 0)
+		if got, want := prefs[1], reduced.pick(k)[0]; got != want {
+			t.Fatalf("key %q fails over to %s, reduced ring routes to %s", k, got, want)
+		}
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := newRing([]string{"only"}, 0)
+	for _, k := range keys(50) {
+		if p := r.pick(k); len(p) != 1 || p[0] != "only" {
+			t.Fatalf("pick(%q) = %v", k, p)
+		}
+	}
+}
+
+func TestRingReplicaCount(t *testing.T) {
+	if got := len(newRing([]string{"a", "b"}, 0).points); got != 2*defaultReplicas {
+		t.Fatalf("default ring has %d points, want %d", got, 2*defaultReplicas)
+	}
+	if got := len(newRing([]string{"a", "b"}, 5).points); got != 10 {
+		t.Fatalf("5-replica ring has %d points, want 10", got)
+	}
+}

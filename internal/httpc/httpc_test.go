@@ -1,0 +1,106 @@
+package httpc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, time.Second, 4)
+	resp, err := c.PostJSON("/x", map[string]string{"a": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d after retries, want 200", resp.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestDoesNotRetryClientFaults(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad input"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, time.Second, 5)
+	resp, err := c.PostJSON("/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 400 {
+		t.Fatalf("status %d, want 400", resp.Status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client fault retried: %d calls", got)
+	}
+	if e := resp.Err("/x"); e == nil || e.Error() != "/x: bad input (HTTP 400)" {
+		t.Fatalf("Err() = %v", e)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, time.Second, 2)
+	resp, err := c.Get("/x")
+	if err != nil {
+		t.Fatal(err) // budget exhaustion on a live server returns the last response
+	}
+	if resp.Status != 503 {
+		t.Fatalf("status %d, want 503", resp.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 1 + 2 retries", got)
+	}
+}
+
+func TestTransportErrorSurfacesAfterRetries(t *testing.T) {
+	// A closed server: every attempt is a dial error.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close()
+	c := New(ts.URL, time.Second, 1)
+	if _, err := c.Get("/x"); err == nil {
+		t.Fatal("expected a transport error from a dead server")
+	}
+}
+
+func TestBackoffDelayGrowsAndJitters(t *testing.T) {
+	base := 40 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		nominal := base << uint(attempt-1)
+		if nominal > 2*time.Second {
+			nominal = 2 * time.Second
+		}
+		for i := 0; i < 32; i++ {
+			d := BackoffDelay(base, attempt)
+			if d < nominal/2 || d > nominal+nominal/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, nominal/2, nominal*3/2)
+			}
+		}
+	}
+}

@@ -373,6 +373,36 @@ func (m *Manager) Rollback(target string) (Version, error) {
 	return cp, nil
 }
 
+// ActiveInfo is the compact convergence identity of one target's
+// serving filter: the version number and the rule hash. Two nodes
+// serving the same (Version, RuleHash) pair for a target have converged
+// on that target; the cluster gateway compares these across members
+// after replicating a lifecycle operation.
+type ActiveInfo struct {
+	Target   string `json:"target"`
+	Version  int    `json:"version"`
+	Label    string `json:"label"`
+	RuleHash string `json:"rule_hash"`
+}
+
+// ActiveSummary reports every managed target's serving version — the
+// lock-free read the health endpoint exposes so cluster-wide version
+// convergence is observable from a health poll, without the full
+// Status() registry listing.
+func (m *Manager) ActiveSummary() []ActiveInfo {
+	out := make([]ActiveInfo, 0, len(m.order))
+	for _, name := range m.order {
+		v := m.targets[name].reg.Active()
+		out = append(out, ActiveInfo{
+			Target:   name,
+			Version:  v.Version,
+			Label:    v.Label,
+			RuleHash: v.RuleHash,
+		})
+	}
+	return out
+}
+
 // TargetStatus is one target's registry listing plus reservoir gauges.
 type TargetStatus struct {
 	Target        string    `json:"target"`

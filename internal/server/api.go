@@ -147,9 +147,15 @@ type ExecuteResponse struct {
 	SimNs       int64 `json:"sim_ns"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. A healthy node answers
+// 200 with Status "ok"; a node that has begun shutting down answers 503
+// with Status "draining" (and Draining set) so routing layers stop
+// sending it traffic before the listener closes.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Node is the instance's cluster identity (Config.Node; omitted for
+	// unnamed single-node deployments).
+	Node   string `json:"node,omitempty"`
 	Filter string `json:"filter"`
 	// Model and Target describe the default machine target; Targets
 	// lists every servable target name.
@@ -157,9 +163,14 @@ type HealthResponse struct {
 	Target  string   `json:"target"`
 	Targets []string `json:"targets"`
 	// Online reports whether online learning is enabled; FilterVersion
-	// is then the default target's serving filter version.
-	Online        bool `json:"online,omitempty"`
-	FilterVersion int  `json:"filter_version,omitempty"`
+	// is then the default target's serving filter version, and
+	// ActiveFilters every managed target's — the per-node convergence
+	// identity the cluster gateway compares across members.
+	Online        bool                           `json:"online,omitempty"`
+	FilterVersion int                            `json:"filter_version,omitempty"`
+	ActiveFilters []schedfilter.OnlineActiveInfo `json:"active_filters,omitempty"`
+	// Draining mirrors the 503 status during shutdown notice.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // FiltersResponse is the body of GET /v1/filters: every managed

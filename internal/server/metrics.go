@@ -156,6 +156,15 @@ func (m *metrics) render(s *Server) string {
 		}
 	}
 
+	if s.cfg.Node != "" {
+		fmt.Fprintf(&b, "schedserved_node_info{node=%q} 1\n", s.cfg.Node)
+	}
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "schedserved_draining %d\n", draining)
+
 	b.WriteString("# HELP schedserved_pool Worker-pool gauges.\n")
 	fmt.Fprintf(&b, "schedserved_pool_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(&b, "schedserved_pool_queue_capacity %d\n", s.cfg.QueueDepth)

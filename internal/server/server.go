@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"schedfilter"
@@ -43,6 +44,11 @@ const maxBody = 8 << 20
 
 // Config parameterizes the service.
 type Config struct {
+	// Node is this instance's name in a cluster: reported on /healthz,
+	// stamped on every response as the X-Sched-Node header, and used by
+	// the gateway to attribute routing. Empty is fine for a single-node
+	// deployment — the header and health field are then omitted.
+	Node string
 	// Target names the default machine target for requests that don't
 	// select one; empty selects the registry default (mpc7410). Every
 	// registered target is served either way — this only picks which one
@@ -116,6 +122,11 @@ type Server struct {
 	mux     *http.ServeMux
 	// online is the learning loop (nil when Config.Online is unset).
 	online *schedfilter.OnlineManager
+	// draining flips when shutdown begins: /healthz answers 503 from
+	// then on, so load balancers stop routing here before the listener
+	// closes. Requests already in flight (and stragglers that raced the
+	// flip) still complete normally.
+	draining atomic.Bool
 }
 
 // New builds a server. Every registered machine target is servable; the
@@ -255,6 +266,9 @@ func (s *Server) endpoint(name string, work func(body []byte) (any, error)) http
 
 func (s *Server) reply(w http.ResponseWriter, ep *epStats, start time.Time, status int, v any) {
 	ep.record(status, time.Since(start))
+	if s.cfg.Node != "" {
+		w.Header().Set("X-Sched-Node", s.cfg.Node)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -267,9 +281,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_, _ = io.WriteString(w, s.metrics.render(s))
 }
 
+// BeginDrain flips the health endpoint to 503 ("draining"). Call it
+// when shutdown starts, before the listener stops accepting: a load
+// balancer or cluster gateway polling /healthz then takes the node out
+// of rotation instead of eating connection resets when the socket
+// closes. Compile endpoints keep serving until the pool closes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{
 		Status:  "ok",
+		Node:    s.cfg.Node,
 		Filter:  s.cfg.Filter.Name(),
 		Model:   s.def.model.Name,
 		Target:  s.def.name,
@@ -280,8 +305,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		f, version := s.online.ActiveFilter(s.def.name)
 		resp.Filter = f.Name()
 		resp.FilterVersion = version
+		resp.ActiveFilters = s.online.ActiveSummary()
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		resp.Draining = true
+		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
@@ -526,10 +559,19 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	}, nil
 }
 
+// drainNotice is how long the health endpoint advertises "draining"
+// (503) before the listener actually stops accepting. It must exceed a
+// routing layer's health-check interval so every prober observes the
+// flip and takes the node out of rotation first; the gateway's default
+// check interval is a fraction of this.
+const drainNotice = 750 * time.Millisecond
+
 // ListenAndServe runs the service on addr until ctx is cancelled, then
-// shuts down gracefully: the listener stops, in-flight requests drain
-// (bounded by drainTimeout), and the worker pool closes. It is the
-// daemon main's whole lifecycle in one call.
+// shuts down gracefully in LB-friendly order: first /healthz flips to
+// 503 and keeps answering for drainNotice so routers stop sending
+// traffic, then the listener stops, in-flight requests drain (bounded
+// by drainTimeout), and the worker pool closes. It is the daemon main's
+// whole lifecycle in one call.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -543,6 +585,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout t
 		s.Close()
 		return err
 	case <-ctx.Done():
+	}
+	s.BeginDrain()
+	select {
+	case err := <-errc: // listener died while we advertised the drain
+		s.Close()
+		return err
+	case <-time.After(drainNotice):
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -270,6 +272,89 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Target != "mpc7410" || len(h.Targets) < 3 {
 		t.Fatalf("health should name the default target and list all: %+v", h)
+	}
+}
+
+// The LB contract behind satellite drain support: BeginDrain flips
+// /healthz to 503 "draining" while the compile endpoints keep serving,
+// so a balancer or cluster gateway pulls the node before its listener
+// closes and in-flight clients never see a reset.
+func TestBeginDrainFlipsHealthzKeepsServing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Node: "n-drain"})
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: HTTP %d, want 503", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || !h.Draining || h.Node != "n-drain" {
+		t.Fatalf("draining health: %+v", h)
+	}
+	// Work endpoints still answer: drain only moves the health signal.
+	code, sr := post[ScheduleResponse](t, ts.URL+"/v1/schedule", ScheduleRequest{
+		ProgramInput: ProgramInput{Source: testSource},
+	})
+	if code != 200 || sr.Blocks == 0 {
+		t.Fatalf("schedule during drain: status %d, %+v", code, sr)
+	}
+	if v := scrape(t, ts.URL, "schedserved_draining"); v != 1 {
+		t.Fatalf("schedserved_draining = %d during drain, want 1", v)
+	}
+}
+
+// The drained shutdown end to end: health flips before the listener
+// closes, in the ListenAndServe path the daemons use.
+func TestListenAndServeDrainOrder(t *testing.T) {
+	s := New(Config{Node: "n-lb"})
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, addr, 5*time.Second) }()
+	base := "http://" + addr
+	// Wait for the listener.
+	var resp *http.Response
+	for i := 0; i < 200; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+	resp.Body.Close()
+	cancel()
+	// Within the drain notice the listener still answers, 503.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during drain notice: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain notice: HTTP %d, want 503", resp.StatusCode)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("ListenAndServe: %v", err)
 	}
 }
 

@@ -147,6 +147,10 @@ type (
 	// OnlineTargetStatus is one target's registry listing plus
 	// reservoir gauges.
 	OnlineTargetStatus = online.TargetStatus
+	// OnlineActiveInfo is one target's serving-filter identity
+	// (version + rule hash) — what cluster members compare to decide
+	// filter-version convergence.
+	OnlineActiveInfo = online.ActiveInfo
 	// OnlineMetrics snapshots the online loop's counters.
 	OnlineMetrics = online.Metrics
 )

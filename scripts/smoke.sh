@@ -11,12 +11,15 @@ ADDR="127.0.0.1:${SMOKE_PORT:-18923}"
 BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 SERVED_PID=""
+DAEMON_PIDS=""
 
 cleanup() {
-  if [ -n "$SERVED_PID" ] && kill -0 "$SERVED_PID" 2>/dev/null; then
-    kill -TERM "$SERVED_PID" 2>/dev/null || true
-    wait "$SERVED_PID" 2>/dev/null || true
-  fi
+  for pid in $SERVED_PID $DAEMON_PIDS; do
+    if kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -159,4 +162,110 @@ wait "$SERVED_PID" 2>/dev/null || true
 grep -q 'drained, bye' "$TMP/served2.log" || fail "online daemon did not drain cleanly"
 SERVED_PID=""
 
-echo "smoke: OK (cache warm at $runs2 scheduler runs; retrain/activate/rollback hot-swapped with zero failures)"
+# --- Cluster: a schedgate fronting two -online backends. Routing is
+# consistent (one workload → one node), killing a backend mid-traffic
+# loses zero requests, and a broadcast retrain + activate converges both
+# nodes on the same filter version.
+ADDR_A="127.0.0.1:${SMOKE_NODE_A_PORT:-18925}"
+ADDR_B="127.0.0.1:${SMOKE_NODE_B_PORT:-18926}"
+GATE_ADDR="127.0.0.1:${SMOKE_GATE_PORT:-18927}"
+GBASE="http://$GATE_ADDR"
+
+echo "smoke: building schedgate"
+go build -o "$TMP/schedgate" ./cmd/schedgate
+
+echo "smoke: starting two -online backends and the gateway"
+"$TMP/schedserved" -addr "$ADDR_A" -node na -online -online-min 1 2>"$TMP/na.log" &
+NODE_A_PID=$!
+"$TMP/schedserved" -addr "$ADDR_B" -node nb -online -online-min 1 2>"$TMP/nb.log" &
+NODE_B_PID=$!
+DAEMON_PIDS="$NODE_A_PID $NODE_B_PID"
+
+for base in "http://$ADDR_A" "http://$ADDR_B"; do
+  for i in $(seq 1 50); do
+    if "$TMP/schedctl" -addr "$base" health >/dev/null 2>&1; then break; fi
+    sleep 0.2
+    [ "$i" = 50 ] && fail "backend $base did not become healthy"
+  done
+done
+
+"$TMP/schedgate" -addr "$GATE_ADDR" -backends "na=http://$ADDR_A,nb=http://$ADDR_B" \
+  -check-every 100ms 2>"$TMP/gate.log" &
+GATE_PID=$!
+DAEMON_PIDS="$DAEMON_PIDS $GATE_PID"
+
+for i in $(seq 1 50); do
+  if "$TMP/schedctl" -addr "$GBASE" health >/dev/null 2>&1; then break; fi
+  kill -0 "$GATE_PID" 2>/dev/null || { cat "$TMP/gate.log" >&2; fail "gateway died"; }
+  sleep 0.2
+  [ "$i" = 50 ] && fail "gateway did not become healthy"
+done
+
+echo "smoke: routed loadgen through the gateway"
+"$TMP/schedctl" -addr "$GBASE" loadgen -workload compress -n 30 -c 4 >"$TMP/glg1.txt"
+grep -q 'failed 0' "$TMP/glg1.txt" || fail "gateway loadgen saw failures: $(cat "$TMP/glg1.txt")"
+mixline=$(grep 'node mix:' "$TMP/glg1.txt") || fail "no node mix in gateway loadgen: $(cat "$TMP/glg1.txt")"
+[ "$(grep -o '×' <<<"$mixline" | wc -l)" = 1 ] \
+  || fail "one workload spread across nodes — routing not consistent: $mixline"
+primary=$(sed -n 's/^loadgen: node mix: \(n[ab]\) .*/\1/p' "$TMP/glg1.txt")
+[ -n "$primary" ] || fail "could not identify compress's primary node: $mixline"
+echo "smoke: compress routes to $primary"
+
+echo "smoke: seeding both backends and waiting for measurement"
+for base in "http://$ADDR_A" "http://$ADDR_B"; do
+  "$TMP/schedctl" -addr "$base" schedule -workload compress -filter default >/dev/null 2>&1
+  "$TMP/schedctl" -addr "$base" schedule -workload db -filter default >/dev/null 2>&1
+  # Sample measurement is asynchronous; retraining before the queue
+  # drains would see an empty reservoir.
+  for i in $(seq 1 100); do
+    "$TMP/schedctl" -addr "$base" metrics >"$TMP/om.txt"
+    enq=$(awk '/^online_blocks_enqueued_total /{print $2}' "$TMP/om.txt")
+    meas=$(awk '/^online_samples_measured_total /{print $2}' "$TMP/om.txt")
+    if [ -n "$enq" ] && [ "$enq" -gt 0 ] && [ "$meas" -ge "$enq" ]; then break; fi
+    sleep 0.1
+    [ "$i" = 100 ] && fail "$base measurement queue never drained ($meas/$enq)"
+  done
+done
+
+echo "smoke: broadcast retrain + activate through the gateway"
+"$TMP/schedctl" -addr "$GBASE" retrain >"$TMP/crt.txt" \
+  || fail "cluster retrain failed: $(cat "$TMP/crt.txt")"
+grep -q 'cluster retrain: 2 ok, 0 failed' "$TMP/crt.txt" \
+  || fail "retrain did not reach both nodes: $(cat "$TMP/crt.txt")"
+"$TMP/schedctl" -addr "$GBASE" filters activate -v 2 >"$TMP/cact.txt" \
+  || fail "cluster activate failed: $(cat "$TMP/cact.txt")"
+grep -q 'cluster activate: 2 ok, 0 failed' "$TMP/cact.txt" \
+  || fail "activate did not reach both nodes: $(cat "$TMP/cact.txt")"
+
+"$TMP/schedctl" -addr "$GBASE" cluster >"$TMP/cl.txt"
+grep -q 'cluster: 2/2 members healthy' "$TMP/cl.txt" \
+  || fail "cluster report wrong member count: $(cat "$TMP/cl.txt")"
+grep -q 'target mpc7410: converged' "$TMP/cl.txt" \
+  || fail "nodes did not converge after broadcast activate: $(cat "$TMP/cl.txt")"
+grep -q 'na=v2 nb=v2' "$TMP/cl.txt" \
+  || fail "nodes not both at v2: $(cat "$TMP/cl.txt")"
+
+echo "smoke: killing $primary mid-traffic"
+if [ "$primary" = na ]; then KILL_PID=$NODE_A_PID; survivor=nb; else KILL_PID=$NODE_B_PID; survivor=na; fi
+kill -KILL "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+"$TMP/schedctl" -addr "$GBASE" loadgen -workload compress -n 30 -c 4 >"$TMP/glg2.txt"
+grep -q 'failed 0' "$TMP/glg2.txt" \
+  || fail "requests lost after killing $primary: $(cat "$TMP/glg2.txt")"
+grep -q "node mix: $survivor ×30" "$TMP/glg2.txt" \
+  || fail "traffic did not fail over to $survivor: $(cat "$TMP/glg2.txt")"
+"$TMP/schedctl" -addr "$GBASE" cluster >"$TMP/cl2.txt"
+grep -q 'cluster: 1/2 members healthy' "$TMP/cl2.txt" \
+  || fail "dead node still counted healthy: $(cat "$TMP/cl2.txt")"
+
+echo "smoke: gateway + survivor graceful shutdown"
+kill -TERM "$GATE_PID"
+wait "$GATE_PID" 2>/dev/null || true
+grep -q 'drained, bye' "$TMP/gate.log" || fail "gateway did not drain cleanly"
+if [ "$survivor" = na ]; then SURV_PID=$NODE_A_PID; SURV_LOG="$TMP/na.log"; else SURV_PID=$NODE_B_PID; SURV_LOG="$TMP/nb.log"; fi
+kill -TERM "$SURV_PID"
+wait "$SURV_PID" 2>/dev/null || true
+grep -q 'drained, bye' "$SURV_LOG" || fail "surviving backend did not drain cleanly"
+DAEMON_PIDS=""
+
+echo "smoke: OK (cache warm at $runs2 scheduler runs; retrain/activate/rollback hot-swapped; cluster routed, converged, and survived a node kill with zero failures)"
