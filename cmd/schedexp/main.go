@@ -12,12 +12,13 @@
 //	schedexp -exp targets -json                    # cross-target matrix → BENCH_targets.json
 //	schedexp -exp online -json                     # retrain-under-load loop → BENCH_online.json
 //	schedexp -exp cluster -json                    # gateway + 3 backends → BENCH_cluster.json
+//	schedexp -exp hotpath -json                    # per-block scheduling path → BENCH_hotpath.json
 //	schedexp -exp table4 -target wide4             # the paper tables under another machine
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server pipeline targets online cluster all
+//	sbfilter adaptive server pipeline targets online cluster hotpath all
 //
 // -experiment is an alias for -exp. -target picks the machine model the
 // experiments run against by registry name (default mpc7410; see
@@ -43,6 +44,9 @@
 // -json additionally writes the step's numbers as a machine-readable
 // artifact; -out overrides the default path (BENCH_adaptive.json or
 // BENCH_server.json). Both artifacts share one write path.
+//
+// -cpuprofile and -memprofile capture pprof profiles of the run (the
+// heap profile is written after a final GC, on exit).
 package main
 
 import (
@@ -54,6 +58,7 @@ import (
 	"schedfilter"
 	"schedfilter/internal/experiments"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/profileflags"
 	"schedfilter/internal/serverbench"
 	"schedfilter/internal/workloads"
 )
@@ -66,6 +71,7 @@ func main() {
 	outPath := flag.String("out", "", "JSON artifact path (default BENCH_adaptive.json / BENCH_server.json per step)")
 	jobs := flag.Int("j", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS, 1 = serial)")
 	target := flag.String("target", "", "machine target the experiments run against (default: "+machine.DefaultTargetName+")")
+	prof := profileflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *expAlias != "" {
 		*exp = *expAlias
@@ -74,11 +80,18 @@ func main() {
 		*exp = "adaptive"
 	}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedexp:", err)
+		os.Exit(1)
+	}
+
 	cfg := schedfilter.DefaultExperimentConfig()
 	cfg.Jobs = *jobs
 	if *target != "" {
 		tgt, err := machine.ByName(*target)
 		if err != nil {
+			stopProf()
 			fmt.Fprintln(os.Stderr, "schedexp:", err)
 			os.Exit(1)
 		}
@@ -86,7 +99,9 @@ func main() {
 	}
 	r := schedfilter.NewExperimentRunner(cfg)
 	start := time.Now()
-	if err := run(r, cfg, *jobs, *exp, *jsonOut, *outPath); err != nil {
+	err = run(r, cfg, *jobs, *exp, *target, *jsonOut, *outPath)
+	stopProf()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedexp:", err)
 		os.Exit(1)
 	}
@@ -110,7 +125,7 @@ func writeArtifact(enabled bool, outPath, defaultPath string, v any) error {
 	return nil
 }
 
-func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, jsonOut bool, outPath string) error {
+func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp, target string, jsonOut bool, outPath string) error {
 	all := exp == "all"
 	did := false
 	show := func(name string, f func() error) error {
@@ -318,6 +333,21 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp string, js
 		}
 		fmt.Println(res.Render())
 		if err := writeArtifact(jsonOut, outPath, "BENCH_cluster.json", res); err != nil {
+			return err
+		}
+	}
+	// The hotpath experiment measures the per-block scheduling path
+	// itself — reduced DAG builder + bucket ready list vs the retained
+	// reference path over every workload block, with the singleflight
+	// coalescing outcome constructed deterministically. Runs by name only.
+	if exp == "hotpath" {
+		did = true
+		res, err := serverbench.RunHotpath(serverbench.HotpathConfig{Target: target})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_hotpath.json", res); err != nil {
 			return err
 		}
 	}

@@ -18,6 +18,9 @@
 // registry name (default mpc7410). The induced filter records that name;
 // -o files carry it in a "# target:" header so loaders can warn when a
 // filter is applied under a different machine.
+//
+// -cpuprofile and -memprofile capture pprof profiles of the run (the
+// heap profile is written after a final GC, on exit).
 package main
 
 import (
@@ -26,9 +29,13 @@ import (
 	"os"
 
 	"schedfilter"
+	"schedfilter/internal/profileflags"
 	"schedfilter/internal/training"
 	"schedfilter/internal/workloads"
 )
+
+// stopProf ends profiling before any exit; fatal routes through it.
+var stopProf = func() {}
 
 func main() {
 	suite := flag.String("suite", "1", "benchmark suite: 1, 2, or all")
@@ -39,7 +46,15 @@ func main() {
 	stats := flag.Bool("stats", true, "print training-set statistics")
 	jobs := flag.Int("j", 0, "workers for data collection (0 = GOMAXPROCS, 1 = serial)")
 	target := flag.String("target", schedfilter.DefaultTargetName, "machine target to train against (see schedfilter.Targets)")
+	prof := profileflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = stop
+	defer stopProf()
 
 	var ws []workloads.Workload
 	switch *suite {
@@ -109,6 +124,7 @@ func main() {
 }
 
 func fatal(err error) {
+	stopProf()
 	fmt.Fprintln(os.Stderr, "schedtrain:", err)
 	os.Exit(1)
 }

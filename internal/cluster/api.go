@@ -34,6 +34,10 @@ type BatchItemResult struct {
 	// failure text otherwise.
 	Response json.RawMessage `json:"response,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	// Coalesced reports the item was byte-identical to an earlier one in
+	// the batch and shares that item's backend response instead of having
+	// been forwarded itself.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // BatchResponse reports a batch: per-item outcomes plus the fan-out
@@ -44,7 +48,10 @@ type BatchResponse struct {
 	OK     int               `json:"ok"`
 	Failed int               `json:"failed"`
 	Nodes  map[string]int    `json:"nodes"`
-	WallNs int64             `json:"wall_ns"`
+	// Coalesced counts items deduplicated inside the batch (identical
+	// bodies forwarded once).
+	Coalesced int   `json:"coalesced,omitempty"`
+	WallNs    int64 `json:"wall_ns"`
 }
 
 // NodeResult is one member's outcome in a broadcast operation.

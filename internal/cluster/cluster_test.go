@@ -410,6 +410,79 @@ func TestBatchFansAcrossShards(t *testing.T) {
 	}
 }
 
+// TestBatchCoalescesDuplicates posts a batch whose items repeat: only the
+// distinct bodies may be forwarded, duplicates replicate their group's
+// response verbatim, and the dedupe is visible in the response and on
+// /metrics.
+func TestBatchCoalescesDuplicates(t *testing.T) {
+	tc := newTestCluster(t, 2, false, nil)
+	// Three distinct programs repeated 4+3+1 times: 8 items, 3 forwards.
+	shape := []int{0, 1, 0, 2, 1, 0, 1, 0}
+	unique := 3
+	items := make([]json.RawMessage, len(shape))
+	for i, p := range shape {
+		buf, err := json.Marshal(server.ScheduleRequest{
+			ProgramInput: server.ProgramInput{Source: testProgram(p)},
+			FilterSpec:   server.FilterSpec{Filter: "LS"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = buf
+	}
+	code, body := postVia(t, tc.gwts.URL, "/v1/batch", BatchRequest{Op: "schedule", Items: items})
+	if code != 200 {
+		t.Fatalf("batch: HTTP %d: %s", code, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.OK != len(items) || br.Failed != 0 {
+		t.Fatalf("batch ok=%d failed=%d: %s", br.OK, br.Failed, body)
+	}
+	if br.Coalesced != len(items)-unique {
+		t.Fatalf("coalesced = %d, want %d", br.Coalesced, len(items)-unique)
+	}
+	// Every duplicate must carry its representative's answer: same node,
+	// byte-identical response, and the coalesced flag on all but the first
+	// occurrence of each program.
+	first := map[int]BatchItemResult{}
+	for i, item := range br.Items {
+		if item.Status != 200 || item.Index != i {
+			t.Fatalf("item %d = %+v", i, item)
+		}
+		rep, dup := first[shape[i]]
+		if !dup {
+			if item.Coalesced {
+				t.Fatalf("item %d is its program's first occurrence but reports coalesced", i)
+			}
+			first[shape[i]] = item
+			continue
+		}
+		if !item.Coalesced {
+			t.Fatalf("item %d repeats item %d but reports coalesced=false", i, rep.Index)
+		}
+		if item.Node != rep.Node || !bytes.Equal(item.Response, rep.Response) {
+			t.Fatalf("item %d diverged from its representative %d:\n%+v\nvs\n%+v", i, rep.Index, item, rep)
+		}
+	}
+	// Only the unique bodies crossed the wire to backends.
+	forwarded := int64(0)
+	for _, n := range tc.gw.Routed() {
+		forwarded += n
+	}
+	if forwarded != int64(unique) {
+		t.Fatalf("backends saw %d attempts, want %d", forwarded, unique)
+	}
+	if got := metricValue(t, tc.gwts.URL, "schedgate_batch_coalesced_total"); got != int64(br.Coalesced) {
+		t.Fatalf("schedgate_batch_coalesced_total = %d, want %d", got, br.Coalesced)
+	}
+	if got := metricValue(t, tc.gwts.URL, "schedgate_batch_items_total"); got != int64(len(items)) {
+		t.Fatalf("schedgate_batch_items_total = %d, want %d", got, len(items))
+	}
+}
+
 // A draining backend (503 on /healthz before its listener closes) must
 // leave the rotation and take zero traffic while it finishes in-flight
 // work.

@@ -325,11 +325,39 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			server.ErrorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Items), maxBatch)})
 		return
 	}
+	// Deduplicate before fanning out: a batch that names the same program
+	// many times (sweep grids, replicated workloads) costs one backend
+	// request per distinct item body; duplicates replicate the group's
+	// answer. The op is uniform across the batch, so item bytes alone are
+	// the group identity. This rides the same dedupe economics as the
+	// backend's schedule singleflight — identical concurrent work is paid
+	// for once — but one layer up, before the bytes ever leave the gateway.
+	reps := make([]int, 0, len(req.Items))       // group -> representative item index
+	group := make([]int, len(req.Items))         // item index -> group
+	seen := make(map[string]int, len(req.Items)) // item bytes -> group
+	for i, item := range req.Items {
+		gi, dup := seen[string(item)]
+		if !dup {
+			gi = len(reps)
+			seen[string(item)] = gi
+			reps = append(reps, i)
+		}
+		group[i] = gi
+	}
 	path := "/v1/" + req.Op
-	resp := BatchResponse{Op: req.Op, Items: make([]BatchItemResult, len(req.Items)), Nodes: map[string]int{}}
-	par.Do(par.Jobs(g.cfg.Jobs), len(req.Items), func(i int) {
-		res := g.route(r.Context(), path, req.Items[i])
-		item := BatchItemResult{Index: i, Node: res.node, Status: res.status}
+	routed := make([]proxyResult, len(reps))
+	par.Do(par.Jobs(g.cfg.Jobs), len(reps), func(u int) {
+		routed[u] = g.route(r.Context(), path, req.Items[reps[u]])
+	})
+	resp := BatchResponse{
+		Op:        req.Op,
+		Items:     make([]BatchItemResult, len(req.Items)),
+		Nodes:     map[string]int{},
+		Coalesced: len(req.Items) - len(reps),
+	}
+	for i := range req.Items {
+		res := routed[group[i]]
+		item := BatchItemResult{Index: i, Node: res.node, Status: res.status, Coalesced: i != reps[group[i]]}
 		switch {
 		case res.err != nil:
 			item.Status = http.StatusBadGateway
@@ -345,7 +373,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		resp.Items[i] = item
-	})
+	}
 	for _, item := range resp.Items {
 		if item.Status == http.StatusOK {
 			resp.OK++
@@ -356,6 +384,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.WallNs = time.Since(start).Nanoseconds()
 	g.metrics.batchItems.Add(int64(len(req.Items)))
+	g.metrics.batchCoalesced.Add(int64(resp.Coalesced))
 	g.replyJSON(w, st, start, http.StatusOK, resp)
 }
 

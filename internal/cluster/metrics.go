@@ -46,12 +46,13 @@ type gwMetrics struct {
 	routed    map[string]*atomic.Int64 // member name → data-plane attempts
 	order     []string                 // member names, config order
 
-	hedges     atomic.Int64 // hedged duplicates launched
-	retries    atomic.Int64 // re-attempts after transient failure
-	failovers  atomic.Int64 // answers served by a non-primary member
-	noHealthy  atomic.Int64 // requests dropped: zero healthy members
-	batchItems atomic.Int64 // items fanned out by /v1/batch
-	broadcasts atomic.Int64 // lifecycle broadcasts
+	hedges         atomic.Int64 // hedged duplicates launched
+	retries        atomic.Int64 // re-attempts after transient failure
+	failovers      atomic.Int64 // answers served by a non-primary member
+	noHealthy      atomic.Int64 // requests dropped: zero healthy members
+	batchItems     atomic.Int64 // items received by /v1/batch
+	batchCoalesced atomic.Int64 // batch items deduplicated before fan-out
+	broadcasts     atomic.Int64 // lifecycle broadcasts
 }
 
 func newGwMetrics(members []string, endpoints ...string) *gwMetrics {
@@ -127,6 +128,7 @@ func (m *gwMetrics) render(g *Gateway) string {
 	fmt.Fprintf(&b, "schedgate_failovers_total %d\n", m.failovers.Load())
 	fmt.Fprintf(&b, "schedgate_no_healthy_total %d\n", m.noHealthy.Load())
 	fmt.Fprintf(&b, "schedgate_batch_items_total %d\n", m.batchItems.Load())
+	fmt.Fprintf(&b, "schedgate_batch_coalesced_total %d\n", m.batchCoalesced.Load())
 	fmt.Fprintf(&b, "schedgate_broadcasts_total %d\n", m.broadcasts.Load())
 
 	b.WriteString("# HELP schedgate_member_healthy Member health as seen by the checker (1 healthy, 0 not).\n")

@@ -1,0 +1,76 @@
+package codecache
+
+import "sync"
+
+// Flight coalesces concurrent duplicate work keyed by content fingerprint:
+// when N callers ask for the same key at once, one (the leader) runs the
+// work and the other N-1 (followers) block until it finishes and share its
+// result. This is the compile path's defense against request stampedes —
+// the common loadgen/cluster pattern where a filter activation flushes
+// affinity and every client re-sends the same program at once. Unlike the
+// scheduled-block cache it holds nothing after the work completes; it only
+// collapses work that is in flight right now.
+//
+// The zero value is ready to use.
+type Flight struct {
+	mu        sync.Mutex
+	inflight  map[Key]*flightCall
+	leaders   int64
+	coalesced int64
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+}
+
+// FlightStats is a snapshot of a Flight's counters.
+type FlightStats struct {
+	// Leaders counts calls that ran fn themselves.
+	Leaders int64
+	// Coalesced counts calls that waited for a concurrent leader and
+	// shared its result instead of running fn.
+	Coalesced int64
+}
+
+// Do runs fn under key, coalescing with any concurrent Do of the same key.
+// It returns fn's result and whether this call shared a leader's result
+// (true) or ran fn itself (false). fn runs exactly once per coalesced
+// group. Callers on distinct keys never block each other; fn itself may
+// block (it runs outside the Flight's lock).
+func (f *Flight) Do(key Key, fn func() any) (any, bool) {
+	f.mu.Lock()
+	if f.inflight == nil {
+		f.inflight = make(map[Key]*flightCall)
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.coalesced++
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.inflight[key] = c
+	f.leaders++
+	f.mu.Unlock()
+
+	defer func() {
+		// Deregister before releasing followers so a late duplicate
+		// either joins this call (got c before the delete) or starts a
+		// fresh leader — never waits on a completed entry forever.
+		f.mu.Lock()
+		delete(f.inflight, key)
+		f.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val = fn()
+	return c.val, false
+}
+
+// Stats returns the flight's counters.
+func (f *Flight) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightStats{Leaders: f.leaders, Coalesced: f.coalesced}
+}

@@ -1,0 +1,118 @@
+package codecache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func flightKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+// TestFlightCoalesces holds a leader mid-work while followers pile on,
+// then verifies exactly one execution served every caller.
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight
+	const followers = 8
+
+	var runs atomic.Int64
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, shared := f.Do(flightKey(1), func() any {
+			runs.Add(1)
+			close(leaderIn)
+			<-release
+			return 42
+		})
+		if shared || v.(int) != 42 {
+			t.Errorf("leader got (%v, shared=%v), want (42, false)", v, shared)
+		}
+	}()
+	<-leaderIn
+
+	results := make(chan bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared := f.Do(flightKey(1), func() any {
+				runs.Add(1)
+				return -1
+			})
+			if v.(int) != 42 {
+				t.Errorf("follower got %v, want 42", v)
+			}
+			results <- shared
+		}()
+	}
+	// Every follower must be registered (counted as coalesced) before the
+	// leader finishes, so the coalescing count below is deterministic.
+	for f.Stats().Coalesced < followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("work ran %d times, want 1", got)
+	}
+	for i := 0; i < followers; i++ {
+		if shared := <-results; !shared {
+			t.Error("follower reported shared=false")
+		}
+	}
+	st := f.Stats()
+	if st.Leaders != 1 || st.Coalesced != followers {
+		t.Fatalf("stats = %+v, want Leaders=1 Coalesced=%d", st, followers)
+	}
+}
+
+// TestFlightDistinctKeysDoNotBlock verifies a slow key never delays a
+// different key.
+func TestFlightDistinctKeysDoNotBlock(t *testing.T) {
+	var f Flight
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		f.Do(flightKey(1), func() any {
+			close(leaderIn)
+			<-release
+			return nil
+		})
+		close(done)
+	}()
+	<-leaderIn
+
+	v, shared := f.Do(flightKey(2), func() any { return "fast" })
+	if shared || v.(string) != "fast" {
+		t.Fatalf("distinct key got (%v, shared=%v), want (fast, false)", v, shared)
+	}
+	close(release)
+	<-done
+}
+
+// TestFlightSequentialReuse verifies a key becomes usable again after its
+// flight completes: sequential calls each run the work.
+func TestFlightSequentialReuse(t *testing.T) {
+	var f Flight
+	for i := 0; i < 3; i++ {
+		v, shared := f.Do(flightKey(7), func() any { return i })
+		if shared || v.(int) != i {
+			t.Fatalf("call %d got (%v, shared=%v)", i, v, shared)
+		}
+	}
+	st := f.Stats()
+	if st.Leaders != 3 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want Leaders=3 Coalesced=0", st)
+	}
+}

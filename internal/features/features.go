@@ -10,6 +10,7 @@ package features
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"schedfilter/internal/ir"
@@ -29,12 +30,20 @@ var Names = func() [Count]string {
 	return n
 }()
 
+// nameIndex maps feature names to their Vector index, built once from
+// Names so NameIndex stays O(1) on the rule-evaluation path.
+var nameIndex = func() map[string]int {
+	m := make(map[string]int, Count)
+	for i, n := range Names {
+		m[n] = i
+	}
+	return m
+}()
+
 // NameIndex returns the index of the named feature, or -1.
 func NameIndex(name string) int {
-	for i, n := range Names {
-		if n == name {
-			return i
-		}
+	if i, ok := nameIndex[name]; ok {
+		return i
 	}
 	return -1
 }
@@ -53,11 +62,10 @@ func Extract(instrs []ir.Instr) Vector {
 	}
 	var counts [ir.NumCategories]int
 	for i := range instrs {
-		cats := instrs[i].Op.Categories()
-		for c := 0; c < ir.NumCategories; c++ {
-			if cats&(1<<uint(c)) != 0 {
-				counts[c]++
-			}
+		// Iterate only the set category bits instead of probing all
+		// twelve per instruction.
+		for cats := uint(instrs[i].Op.Categories()); cats != 0; cats &= cats - 1 {
+			counts[bits.TrailingZeros(cats)]++
 		}
 	}
 	inv := 1 / float64(n)
@@ -77,11 +85,14 @@ func (v Vector) Slice() []float64 { return v[:] }
 func (v Vector) BBLen() int { return int(v[0]) }
 
 // Fraction returns the fraction of instructions in the given category.
+// The category must be a single bit; compound masks and the zero value
+// return 0.
 func (v Vector) Fraction(c ir.Category) float64 {
-	for i := 0; i < ir.NumCategories; i++ {
-		if c == 1<<uint(i) {
-			return v[i+1]
-		}
+	if c == 0 || c&(c-1) != 0 {
+		return 0
+	}
+	if i := bits.TrailingZeros16(uint16(c)); i < ir.NumCategories {
+		return v[i+1]
 	}
 	return 0
 }

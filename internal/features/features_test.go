@@ -120,3 +120,67 @@ func TestVectorString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestFractionMatchesLinearScan pins the O(1) Fraction lookup to the
+// original linear-scan semantics over every possible 16-bit mask: single
+// category bits map to their vector slot, everything else (zero, compound
+// masks, bits past NumCategories) reads 0.
+func TestFractionMatchesLinearScan(t *testing.T) {
+	var v Vector
+	for i := range v {
+		v[i] = float64(i + 1) // distinct sentinel per slot
+	}
+	linear := func(c ir.Category) float64 {
+		for i := 0; i < ir.NumCategories; i++ {
+			if c == 1<<uint(i) {
+				return v[i+1]
+			}
+		}
+		return 0
+	}
+	for mask := 0; mask <= 0xffff; mask++ {
+		c := ir.Category(mask)
+		if got, want := v.Fraction(c), linear(c); got != want {
+			t.Fatalf("Fraction(%#x) = %v, want %v", mask, got, want)
+		}
+	}
+}
+
+// BenchmarkExtract measures the one-pass feature extractor — the cost the
+// filter adds to every block, scheduled or not.
+func BenchmarkExtract(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	blocks := make([][]ir.Instr, 64)
+	for i := range blocks {
+		blocks[i] = blockgen.Gen(r, blockgen.DefaultConfig)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(blocks[i%len(blocks)])
+	}
+}
+
+// BenchmarkFraction measures the per-rule category lookup.
+func BenchmarkFraction(b *testing.B) {
+	v := Extract([]ir.Instr{{Op: ir.LI, Defs: []ir.Reg{ir.GPR(3)}, Imm: 1}})
+	var sum float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum += v.Fraction(ir.CatLoad)
+	}
+	_ = sum
+}
+
+// BenchmarkNameIndex measures the feature-name resolution the rule
+// evaluator performs when binding parsed rules to vector slots.
+func BenchmarkNameIndex(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if NameIndex("yieldpoints") < 0 {
+			b.Fatal("missing feature")
+		}
+	}
+}

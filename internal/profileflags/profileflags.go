@@ -1,0 +1,69 @@
+// Package profileflags adds the standard -cpuprofile / -memprofile pair
+// to a command's flag set, so the long-running CLI entry points
+// (schedexp sweeps, schedtrain training runs) can be profiled with the
+// same invocation shape as `go test`.
+package profileflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered flag values; read after flag.Parse.
+type Flags struct {
+	CPUProfile *string
+	MemProfile *string
+}
+
+// Register adds -cpuprofile and -memprofile to fs.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPUProfile: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		MemProfile: fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+// Start begins the CPU capture (when requested) and returns a stop
+// function that ends it and writes the heap profile (when requested).
+// The stop function is idempotent and must run before os.Exit — deferred
+// calls don't survive it, so error paths call it explicitly.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.CPUProfile != "" {
+		cpuFile, err = os.Create(*f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	mem := *f.MemProfile
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			out, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

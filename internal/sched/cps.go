@@ -49,10 +49,11 @@ func ScheduleInstrsScratch(m *machine.Model, instrs []ir.Instr, s *Scratch) Resu
 }
 
 // ScheduleInstrsUnpooled is ScheduleInstrs on freshly allocated working
-// memory — the pre-pooling reference path. It exists for the equivalence
-// tests and the allocation accounting in the pipeline benchmark
-// (BENCH_pipeline.json's allocs-per-block "before" column); production
-// callers should use ScheduleInstrs.
+// memory. It exists for the equivalence tests and the allocation
+// accounting in the pipeline benchmark (BENCH_pipeline.json's
+// allocs-per-block "before" column); production callers should use
+// ScheduleInstrs, and the pre-optimization code path is preserved
+// separately as ScheduleInstrsReference.
 func ScheduleInstrsUnpooled(m *machine.Model, instrs []ir.Instr) Result {
 	return ScheduleInstrsScratch(m, instrs, NewScratch())
 }
@@ -75,14 +76,19 @@ func ScheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG) Result {
 // operand-ready time is fixed the moment it becomes ready (all dependence
 // predecessors are scheduled), and the machine constraints — issue cycle,
 // slot consumption, unit busy times — only tighten as instructions issue.
-// So instead of recomputing EarliestStart for every candidate every step,
-// the loop caches a per-instruction lower bound (computed when the
-// instruction enters the ready set) and revalidates lazily: pick the
-// candidate that wins on cached values, recompute its true earliest start,
-// and re-pick only if the cache was stale. The chosen instruction is
-// provably the same one the full recomputation would pick — stale entries
-// are lower bounds, so a candidate that loses on cached values also loses
-// on true values — keeping schedules bit-identical to the reference path.
+// The ready set is therefore kept as a bucket queue indexed by cached
+// earliest-start lower bound (computed when the instruction enters the
+// ready set): the lowest non-empty bucket holds exactly the candidates
+// that win the earliest-start comparison on cached values, so one scan of
+// that bucket finds the critical-path/program-order winner without
+// touching later candidates. The winner's true earliest start is then
+// recomputed; if the cache was stale the entry migrates to its true
+// bucket and the pick repeats. The chosen instruction is provably the
+// same one a full recomputation over an unordered ready list would pick —
+// stale entries are lower bounds, so a candidate that loses on cached
+// values also loses on true values, and issue cycles never decrease, so
+// the scan frontier never moves backward — keeping schedules bit-identical
+// to ScheduleInstrsReference.
 func scheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG, s *Scratch) Result {
 	n := len(instrs)
 	res := Result{Order: make([]int, 0, n)}
@@ -101,59 +107,57 @@ func scheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG, s *Scratch) Resu
 	state.Reset()
 
 	indeg := growInts(&s.indeg, n)
-	es := growInts(&s.es, n)
 	inReady := growBools(&s.inReady, n)
-	ready := s.ready[:0]
+	nb := s.buckets
+	push := func(i, t int) {
+		for len(nb) <= t {
+			nb = append(nb, nil)
+		}
+		nb[t] = append(nb[t], int32(i))
+	}
 	for i := 0; i < n; i++ {
 		indeg[i] = len(dag.Pred[i])
 		if indeg[i] == 0 {
-			ready = append(ready, i)
 			inReady[i] = true
-			es[i] = state.EarliestStart(&instrs[i])
+			push(i, state.EarliestStart(&instrs[i]))
 		}
 	}
 
+	lo := 0 // all buckets below lo are empty and stay empty
 	for len(res.Order) < n {
 		var best int
 		for {
-			best = -1
-			bestStart, bestCP := 0, 0
-			for _, i := range ready {
-				e := es[i]
-				switch {
-				case best == -1,
-					e < bestStart,
-					e == bestStart && cp[i] > bestCP,
-					e == bestStart && cp[i] == bestCP && i < best:
-					best, bestStart, bestCP = i, e, cp[i]
+			for len(nb[lo]) == 0 {
+				lo++
+			}
+			b := nb[lo]
+			best = int(b[0])
+			bi := 0
+			for k := 1; k < len(b); k++ {
+				c := int(b[k])
+				if cp[c] > cp[best] || (cp[c] == cp[best] && c < best) {
+					best, bi = c, k
 				}
 			}
 			fresh := state.EarliestStart(&instrs[best])
-			if fresh == es[best] {
+			b[bi] = b[len(b)-1]
+			nb[lo] = b[:len(b)-1]
+			if fresh == lo {
 				break
 			}
-			es[best] = fresh // stale lower bound; raise and re-pick
+			push(best, fresh) // stale lower bound; migrate and re-pick
 		}
 		state.Issue(&instrs[best])
 		res.Order = append(res.Order, best)
-		// Remove best from the ready list.
-		for k, i := range ready {
-			if i == best {
-				ready[k] = ready[len(ready)-1]
-				ready = ready[:len(ready)-1]
-				break
-			}
-		}
 		for _, e := range dag.Succ[best] {
 			indeg[e.To]--
 			if indeg[e.To] == 0 && !inReady[e.To] {
-				ready = append(ready, e.To)
 				inReady[e.To] = true
-				es[e.To] = state.EarliestStart(&instrs[e.To])
+				push(e.To, state.EarliestStart(&instrs[e.To]))
 			}
 		}
 	}
-	s.ready = ready[:0]
+	s.buckets = nb
 
 	res.CostAfter = state.Makespan()
 	for pos, idx := range res.Order {

@@ -5,6 +5,8 @@
 package sched
 
 import (
+	"sync"
+
 	"schedfilter/internal/ir"
 	"schedfilter/internal/machine"
 )
@@ -23,34 +25,47 @@ type DAG struct {
 	Succ [][]Edge
 	Pred [][]Edge
 
-	// edgeSet dedupes edges, keeping the maximum latency per pair.
-	edgeSet map[int64]int
+	nEdges int
 }
 
+// addEdge inserts an edge with last-wins max-latency dedupe by scanning
+// the successor list. It is the slow general-purpose insert for callers
+// mutating a standalone DAG (superblock formation, the reference builder);
+// the block builder uses Scratch.edge, whose stamp tables make the same
+// dedupe O(1).
 func (d *DAG) addEdge(from, to, lat int) {
 	if from == to {
 		return
 	}
-	key := int64(from)<<32 | int64(to)
-	if idx, ok := d.edgeSet[key]; ok {
-		if d.Succ[from][idx].Latency < lat {
-			d.Succ[from][idx].Latency = lat
-			for i := range d.Pred[to] {
-				if d.Pred[to][i].To == from {
-					d.Pred[to][i].Latency = lat
-					break
+	for k := range d.Succ[from] {
+		if d.Succ[from][k].To == to {
+			if d.Succ[from][k].Latency < lat {
+				d.Succ[from][k].Latency = lat
+				for i := range d.Pred[to] {
+					if d.Pred[to][i].To == from {
+						d.Pred[to][i].Latency = lat
+						break
+					}
 				}
 			}
+			return
 		}
-		return
 	}
-	d.edgeSet[key] = len(d.Succ[from])
 	d.Succ[from] = append(d.Succ[from], Edge{To: to, Latency: lat})
 	d.Pred[to] = append(d.Pred[to], Edge{To: from, Latency: lat})
+	d.nEdges++
 }
 
 // NumEdges returns the number of distinct dependence edges.
-func (d *DAG) NumEdges() int { return len(d.edgeSet) }
+func (d *DAG) NumEdges() int { return d.nEdges }
+
+// pathMem is the pooled working memory of HasPath.
+type pathMem struct {
+	seen  []bool
+	stack []int
+}
+
+var pathPool = sync.Pool{New: func() any { return new(pathMem) }}
 
 // HasPath reports whether a dependence path leads from i to j (i before j).
 // Exported for property tests verifying order preservation.
@@ -58,13 +73,16 @@ func (d *DAG) HasPath(i, j int) bool {
 	if i == j {
 		return true
 	}
-	seen := make([]bool, d.N)
-	stack := []int{i}
+	pm := pathPool.Get().(*pathMem)
+	seen := growBools(&pm.seen, d.N)
+	stack := append(pm.stack[:0], i)
+	found := false
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n == j {
-			return true
+			found = true
+			break
 		}
 		if seen[n] {
 			continue
@@ -76,7 +94,9 @@ func (d *DAG) HasPath(i, j int) bool {
 			}
 		}
 	}
-	return false
+	pm.stack = stack[:0]
+	pathPool.Put(pm)
+	return found
 }
 
 // BuildDAG computes the dependence DAG of the instruction sequence under
@@ -94,12 +114,42 @@ func (d *DAG) HasPath(i, j int) bool {
 // Guard registers (defined by null/bounds checks, used by the guarded
 // memory access) flow through the ordinary register rules, so a load never
 // hoists above its own check while independent loads stay mobile.
+//
+// The builder emits a reduced edge set: memory and hazard dependences are
+// carried by bounded chains (store→store, PEI→PEI, last-store→load,
+// loads-since-last-store→store) rather than all-pairs edges, and the
+// terminator depends only on the DAG's sinks. Every omitted edge is
+// implied by a retained path of at least the omitted latency, so the
+// transitive closure, the critical-path lengths, and the resulting
+// schedules are identical to BuildDAGReference's full graph (the
+// equivalence property tests pin this down per machine target).
 func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
 	d := &DAG{}
 	s := GetScratch()
 	buildDAGInto(m, instrs, d, s)
 	PutScratch(s)
 	return d
+}
+
+// BuildDAGScratch is BuildDAG into the scratch's reusable storage: the
+// returned DAG is owned by s and valid only until s's next use, but a
+// warmed scratch makes the build allocation-free. This is the build half
+// of ScheduleInstrsScratch, exposed for callers (the hot-path benchmark)
+// that measure or inspect DAG construction alone.
+func BuildDAGScratch(m *machine.Model, instrs []ir.Instr, s *Scratch) *DAG {
+	buildDAGInto(m, instrs, &s.dag, s)
+	return &s.dag
+}
+
+// liveStore is one entry of the builder's pruned store stack: a prior
+// store whose store→load edge latency is not yet dominated by the store
+// chain. v is the store's latency plus its position in the store chain;
+// a store with v no greater than a later store's v is dominated (the
+// chain from it to the later store plus that store's latency covers its
+// own latency) and gets pruned, so with uniform store latencies the
+// stack holds exactly one entry.
+type liveStore struct {
+	idx, lat, v int32
 }
 
 // buildDAGInto is BuildDAG writing into caller storage: the DAG's
@@ -110,45 +160,46 @@ func BuildDAG(m *machine.Model, instrs []ir.Instr) *DAG {
 func buildDAGInto(m *machine.Model, instrs []ir.Instr, d *DAG, s *Scratch) {
 	n := len(instrs)
 	d.reset(n)
+	s.begin(n)
 
-	clear(s.lastDef)
-	clear(s.lastUse)
-	s.nUse = 0
-
-	loads, stores, peis := s.loads[:0], s.stores[:0], s.peis[:0]
-	lastBarrier := -1
+	loads := s.loads[:0] // loads since the last store (or barrier)
+	live := s.live[:0]   // prior stores still owed direct store→load edges
+	lastBarrier, lastStore, lastPEI := -1, -1, -1
+	storeChain := 0 // stores since the last barrier
 
 	for i := range instrs {
 		in := &instrs[i]
 
-		// Register dependences.
+		// Register dependences, off the flat last-writer/last-reader
+		// tables.
 		for _, u := range in.Uses {
-			if di, ok := s.lastDef[u]; ok {
-				d.addEdge(di, i, m.Latency(instrs[di].Op)) // true
+			if e := s.regSlot(u); e.def >= 0 {
+				s.edge(d, int(e.def), i, m.Latency(instrs[e.def].Op)) // true
 			}
 		}
 		for _, def := range in.Defs {
-			if di, ok := s.lastDef[def]; ok {
-				d.addEdge(di, i, 1) // output
+			e := s.regSlot(def)
+			if e.def >= 0 {
+				s.edge(d, int(e.def), i, 1) // output
 			}
-			if si, ok := s.lastUse[def]; ok {
-				for _, ui := range s.useLists[si] {
-					d.addEdge(ui, i, 0) // anti
+			if e.use >= 0 {
+				for _, ui := range s.useLists[e.use] {
+					s.edge(d, ui, i, 0) // anti
 				}
 			}
 		}
 		for _, u := range in.Uses {
-			si, ok := s.lastUse[u]
-			if !ok {
-				si = s.newUseSlot()
-				s.lastUse[u] = si
+			e := s.regSlot(u)
+			if e.use < 0 {
+				e.use = int32(s.newUseSlot())
 			}
-			s.useLists[si] = append(s.useLists[si], i)
+			s.useLists[e.use] = append(s.useLists[e.use], i)
 		}
 		for _, def := range in.Defs {
-			s.lastDef[def] = i
-			if si, ok := s.lastUse[def]; ok {
-				s.useLists[si] = s.useLists[si][:0]
+			e := s.regSlot(def)
+			e.def = int32(i)
+			if e.use >= 0 {
+				s.useLists[e.use] = s.useLists[e.use][:0]
 			}
 		}
 
@@ -159,61 +210,74 @@ func buildDAGInto(m *machine.Model, instrs []ir.Instr, d *DAG, s *Scratch) {
 		isBarrier := op.IsCallLike() || op.Is(ir.CatGCPoint|ir.CatTSPoint|ir.CatYieldPoint)
 		isBranch := op.IsBranchOp()
 
-		// Memory dependences.
+		// Memory and hazard dependences, carried by chains. anchored
+		// records whether this instruction received an edge from inside
+		// the current barrier region — if so it is transitively ordered
+		// after the barrier with at least the barrier's latency, and the
+		// direct barrier edge is redundant.
+		anchored := false
 		if isLoad {
-			for _, si := range stores {
-				d.addEdge(si, i, m.Latency(instrs[si].Op))
+			for _, st := range live {
+				s.edge(d, int(st.idx), i, int(st.lat))
+				anchored = true
 			}
 		}
 		if isStore {
-			for _, si := range stores {
-				d.addEdge(si, i, 1)
-			}
 			for _, li := range loads {
-				d.addEdge(li, i, 0)
+				s.edge(d, li, i, 0) // anti: load before overwrite
+				anchored = true
+			}
+			if lastStore >= 0 {
+				s.edge(d, lastStore, i, 1) // store chain
+				anchored = true
 			}
 			// Precise exception state: a store may not move above a
 			// potentially-excepting instruction, nor a PEI above a store.
-			for _, pi := range peis {
-				d.addEdge(pi, i, 0)
+			if lastPEI >= 0 {
+				s.edge(d, lastPEI, i, 0)
+				anchored = true
 			}
 		}
 		if isPEI {
-			for _, pi := range peis {
-				d.addEdge(pi, i, 0) // exceptions stay in order
+			if lastPEI >= 0 {
+				s.edge(d, lastPEI, i, 0) // exceptions stay in order
+				anchored = true
 			}
-			for _, si := range stores {
-				d.addEdge(si, i, 1)
+			if lastStore >= 0 {
+				s.edge(d, lastStore, i, 1)
+				anchored = true
 			}
 		}
 
 		// Calls and hazard points: no memory op or PEI crosses them.
 		if isBarrier {
-			for _, x := range loads {
-				d.addEdge(x, i, 0)
+			for _, li := range loads {
+				s.edge(d, li, i, 0)
 			}
-			for _, x := range stores {
-				d.addEdge(x, i, 1)
+			if lastStore >= 0 {
+				s.edge(d, lastStore, i, 1)
 			}
-			for _, x := range peis {
-				d.addEdge(x, i, 0)
+			if lastPEI >= 0 {
+				s.edge(d, lastPEI, i, 0)
 			}
 			if lastBarrier >= 0 {
-				d.addEdge(lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
+				s.edge(d, lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
 			}
 			lastBarrier = i
-			// Everything tracked so far is now ordered through the
-			// barrier; later memory ops need only an edge from the
-			// barrier itself (dependence is transitive).
-			loads, stores, peis = loads[:0], stores[:0], peis[:0]
-		} else if lastBarrier >= 0 && (isLoad || isStore || isPEI) {
-			d.addEdge(lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
+			lastStore, lastPEI = -1, -1
+			storeChain = 0
+			loads, live = loads[:0], live[:0]
+		} else if lastBarrier >= 0 && (isLoad || isStore || isPEI) && !anchored {
+			s.edge(d, lastBarrier, i, m.Latency(instrs[lastBarrier].Op))
 		}
 
-		// The block terminator depends on everything before it.
+		// The block terminator depends on everything before it; edges to
+		// the sinks imply the rest.
 		if isBranch && i == n-1 {
 			for j := 0; j < i; j++ {
-				d.addEdge(j, i, 0)
+				if len(d.Succ[j]) == 0 {
+					s.edge(d, j, i, 0)
+				}
 			}
 		}
 
@@ -221,14 +285,22 @@ func buildDAGInto(m *machine.Model, instrs []ir.Instr, d *DAG, s *Scratch) {
 			loads = append(loads, i)
 		}
 		if isStore {
-			stores = append(stores, i)
+			lastStore = i
+			storeChain++
+			lat := int32(m.Latency(op))
+			v := lat + int32(storeChain)
+			for len(live) > 0 && live[len(live)-1].v <= v {
+				live = live[:len(live)-1]
+			}
+			live = append(live, liveStore{idx: int32(i), lat: lat, v: v})
+			loads = loads[:0] // later anti edges flow through this store
 		}
 		if isPEI && !isBarrier {
-			peis = append(peis, i)
+			lastPEI = i
 		}
 	}
 	// Hand the (possibly grown) tracking slices back for the next block.
-	s.loads, s.stores, s.peis = loads, stores, peis
+	s.loads, s.live = loads, live
 }
 
 // CriticalPaths returns, for every instruction, the length in cycles of

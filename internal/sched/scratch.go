@@ -9,9 +9,10 @@ import (
 
 // Scratch is the reusable working memory of one scheduling call: the
 // dependence-DAG storage, the ready/indegree/critical-path arrays, the
-// earliest-start cache, and the machine issue state. A Scratch reaches a
-// steady state after a few blocks, at which point ScheduleInstrsScratch
-// performs a single allocation per call (the returned Order slice).
+// machine issue state, and the builder's flat register and edge tables. A
+// Scratch reaches a steady state after a few blocks, at which point
+// ScheduleInstrsScratch performs a single allocation per call (the
+// returned Order slice).
 //
 // A Scratch is not safe for concurrent use; use one per goroutine (the
 // package-level pool behind ScheduleInstrs hands each caller its own).
@@ -24,31 +25,49 @@ type Scratch struct {
 	// changes between calls.
 	state *machine.IssueState
 
-	// Scheduling arrays (scheduleDAG).
+	// Scheduling arrays (scheduleDAG). buckets is the indexed ready
+	// list: buckets[t] holds the ready instructions whose cached
+	// earliest-start lower bound is cycle t.
 	cp      []int
 	indeg   []int
-	ready   []int
 	inReady []bool
-	es      []int
+	buckets [][]int32
 
-	// DAG-construction state (buildDAGInto).
-	lastDef  map[ir.Reg]int
-	lastUse  map[ir.Reg]int // register -> slot in useLists
+	// DAG-construction state (buildDAGInto). epoch stamps let the flat
+	// tables invalidate in O(1) per block instead of being cleared;
+	// entries from earlier epochs read as empty.
+	epoch uint32
+
+	// regs holds one last-writer/last-reader table per register class,
+	// indexed by register number.
+	regs [4][]regEntry
+
+	// edgeTo/succPos/predPos dedupe edge insertion: every builder edge
+	// targets the instruction currently being processed, so one stamped
+	// cell per source node suffices to detect a duplicate (from, to)
+	// pair and bump its latency in place.
+	edgeTo  []int64
+	succPos []int32
+	predPos []int32
+
 	useLists [][]int
 	nUse     int
 	loads    []int
-	stores   []int
-	peis     []int
+	live     []liveStore
+}
+
+// regEntry is one register's builder state: the instruction that last
+// wrote it and the slot in useLists collecting reads since that write.
+// Entries with a stale epoch are empty.
+type regEntry struct {
+	epoch uint32
+	def   int32
+	use   int32
 }
 
 // NewScratch returns an empty scratch. Most callers should prefer
 // GetScratch/PutScratch, which recycle scratches through a pool.
-func NewScratch() *Scratch {
-	return &Scratch{
-		lastDef: make(map[ir.Reg]int),
-		lastUse: make(map[ir.Reg]int),
-	}
-}
+func NewScratch() *Scratch { return &Scratch{} }
 
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 
@@ -68,6 +87,76 @@ func (s *Scratch) stateFor(m *machine.Model) *machine.IssueState {
 		s.state.Reset()
 	}
 	return s.state
+}
+
+// begin starts a new block build of n instructions: a fresh epoch
+// invalidates the register and edge tables, and the per-node edge arrays
+// are sized to the block.
+func (s *Scratch) begin(n int) {
+	s.epoch++
+	if s.epoch == 0 {
+		// The epoch counter wrapped: stale stamps from 2^32 blocks ago
+		// could now collide, so clear the tables once and restart at 1.
+		for i := range s.edgeTo {
+			s.edgeTo[i] = -1
+		}
+		for c := range s.regs {
+			for j := range s.regs[c] {
+				s.regs[c][j].epoch = 0
+			}
+		}
+		s.epoch = 1
+	}
+	s.nUse = 0
+	if cap(s.edgeTo) < n {
+		s.edgeTo = make([]int64, n)
+		s.succPos = make([]int32, n)
+		s.predPos = make([]int32, n)
+	}
+	s.edgeTo = s.edgeTo[:n]
+	s.succPos = s.succPos[:n]
+	s.predPos = s.predPos[:n]
+}
+
+// regSlot returns the builder state of register r for the current epoch,
+// growing the class table on demand (virtual register numbers are dense
+// but unbounded).
+func (s *Scratch) regSlot(r ir.Reg) *regEntry {
+	t := &s.regs[r.Class&3]
+	n := int(r.N)
+	if n >= len(*t) {
+		*t = append(*t, make([]regEntry, n+1-len(*t))...)
+	}
+	e := &(*t)[n]
+	if e.epoch != s.epoch {
+		e.epoch = s.epoch
+		e.def, e.use = -1, -1
+	}
+	return e
+}
+
+// edge inserts from→to into d, deduplicating with max-latency semantics in
+// O(1). All builder edges target the instruction currently being built
+// (to only grows), so a single stamped cell per source detects repeats.
+func (s *Scratch) edge(d *DAG, from, to, lat int) {
+	if from == to {
+		return
+	}
+	stamp := int64(s.epoch)<<32 | int64(uint32(to))
+	if s.edgeTo[from] == stamp {
+		se := &d.Succ[from][s.succPos[from]]
+		if se.Latency < lat {
+			se.Latency = lat
+			d.Pred[to][s.predPos[from]].Latency = lat
+		}
+		return
+	}
+	s.edgeTo[from] = stamp
+	s.succPos[from] = int32(len(d.Succ[from]))
+	s.predPos[from] = int32(len(d.Pred[to]))
+	d.Succ[from] = append(d.Succ[from], Edge{To: to, Latency: lat})
+	d.Pred[to] = append(d.Pred[to], Edge{To: from, Latency: lat})
+	d.nEdges++
 }
 
 // newUseSlot hands out the next reusable last-uses list, truncated.
@@ -105,9 +194,12 @@ func growBools(buf *[]bool, n int) []bool {
 }
 
 // reset prepares the DAG to describe an n-instruction block, reusing the
-// adjacency storage and the edge-dedup map from previous blocks.
+// adjacency storage from previous blocks. Edge dedupe state lives on the
+// Scratch, so a pooled DAG retains nothing but slice capacity between
+// blocks.
 func (d *DAG) reset(n int) {
 	d.N = n
+	d.nEdges = 0
 	if cap(d.Succ) < n {
 		d.Succ = append(d.Succ[:cap(d.Succ)], make([][]Edge, n-cap(d.Succ))...)
 	}
@@ -119,10 +211,5 @@ func (d *DAG) reset(n int) {
 	for i := 0; i < n; i++ {
 		d.Succ[i] = d.Succ[i][:0]
 		d.Pred[i] = d.Pred[i][:0]
-	}
-	if d.edgeSet == nil {
-		d.edgeSet = make(map[int64]int)
-	} else {
-		clear(d.edgeSet)
 	}
 }

@@ -86,9 +86,13 @@ type ScheduleResponse struct {
 	CostAfter   int64 `json:"cost_after"`
 	CompileNs   int64 `json:"compile_ns"`
 	SchedNs     int64 `json:"sched_ns"`
-	// ProgramKey is the hex content fingerprint of the scheduled program
-	// (model + filter + code).
+	// ProgramKey is the hex content fingerprint of the request's program
+	// (model + filter + code) — the scheduled-block cache and
+	// singleflight identity.
 	ProgramKey string `json:"program_key"`
+	// Coalesced reports that this request shared a concurrent identical
+	// request's scheduling pass instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // PredictRequest is the input of POST /v1/predict: run only the filter

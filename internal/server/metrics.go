@@ -129,6 +129,9 @@ func (m *metrics) render(s *Server) string {
 	fmt.Fprintf(&b, "codecache_collisions_total %d\n", collisions)
 	fmt.Fprintf(&b, "codecache_entries %d\n", entries)
 	fmt.Fprintf(&b, "codecache_weight_words %d\n", weight)
+	fs := s.flight.Stats()
+	fmt.Fprintf(&b, "codecache_coalesced_total %d\n", fs.Coalesced)
+	fmt.Fprintf(&b, "codecache_flight_leaders_total %d\n", fs.Leaders)
 	for _, name := range s.order {
 		cs := s.targets[name].cache.Stats()
 		fmt.Fprintf(&b, "codecache_target_hits_total{target=%q} %d\n", name, cs.Hits)

@@ -120,6 +120,15 @@ type Server struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+	// flight coalesces concurrent identical schedule/execute requests
+	// (same program fingerprint + filter identity) into one scheduling
+	// pass — the stampede that follows a filter activation flushing
+	// cluster affinity costs one pass instead of N.
+	flight schedfilter.ScheduleFlight
+	// schedFlightHook, when non-nil, runs inside a schedule flight leader
+	// before its pass. Tests set it (before serving traffic) to hold a
+	// leader in flight while a stampede forms; production leaves it nil.
+	schedFlightHook func()
 	// online is the learning loop (nil when Config.Online is unset).
 	online *schedfilter.OnlineManager
 	// draining flips when shutdown begins: /healthz answers 503 from
@@ -453,11 +462,27 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 		return nil, err
 	}
 	s.observe(mt, prog)
-	st := s.schedulePass(prog, f, mt, req.NoCache)
 	// The fingerprint context is the filter's content identity, not its
 	// display name: two hot-swapped filter versions that share a label
-	// must never alias.
+	// must never alias. Computed on the unscheduled program, it doubles
+	// as the singleflight key: scheduling is deterministic in (model,
+	// filter, input code), so concurrent identical requests can share one
+	// pass. NoCache requests promise an uncached pass and stay out.
 	key := schedfilter.FingerprintProgram(mt.model, schedfilter.FilterID(f), prog)
+	var st schedfilter.ScheduleStats
+	coalesced := false
+	if req.NoCache {
+		st = s.schedulePass(prog, f, mt, true)
+	} else {
+		v, shared := s.flight.Do(key, func() any {
+			if s.schedFlightHook != nil {
+				s.schedFlightHook()
+			}
+			return s.schedulePass(prog, f, mt, false)
+		})
+		st = v.(schedfilter.ScheduleStats)
+		coalesced = shared
+	}
 	return ScheduleResponse{
 		Filter:        f.Name(),
 		FilterVersion: version,
@@ -473,6 +498,7 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 		CompileNs:     compileT.Nanoseconds(),
 		SchedNs:       st.SchedTime.Nanoseconds(),
 		ProgramKey:    hex.EncodeToString(key[:]),
+		Coalesced:     coalesced,
 	}, nil
 }
 
@@ -536,7 +562,18 @@ func (s *Server) doExecute(body []byte) (any, error) {
 		return nil, err
 	}
 	s.observe(mt, prog)
-	st := s.schedulePass(prog, f, mt, false)
+	// Execute must schedule its own program copy before simulating, but
+	// concurrent identical requests still coalesce the scheduler work:
+	// followers wait for the leader's pass to warm the scheduled-block
+	// cache, then their own pass replays from it (all hits).
+	key := schedfilter.FingerprintProgram(mt.model, schedfilter.FilterID(f), prog)
+	v, coalesced := s.flight.Do(key, func() any {
+		return s.schedulePass(prog, f, mt, false)
+	})
+	st := v.(schedfilter.ScheduleStats)
+	if coalesced {
+		st = s.schedulePass(prog, f, mt, false)
+	}
 	simStart := time.Now()
 	res, err := schedfilter.Execute(prog, mt.model, !req.Untimed)
 	if err != nil {

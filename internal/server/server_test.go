@@ -589,3 +589,116 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestScheduleConcurrentDuplicatesCoalesce drives a stampede of identical
+// schedule requests straight at the handler (bypassing the HTTP pool so
+// concurrency is real) and verifies the singleflight layer: exactly one
+// request runs the pass while every other shares it, every response is
+// identical where determinism demands it, and the coalescing shows up on
+// /metrics. The flight hook holds the leader inside its pass until all
+// followers have registered, so the coalescing count is deterministic
+// rather than a race against a fast scheduling pass. Run under -race this
+// also proves the flight's result sharing is properly synchronized.
+func TestScheduleConcurrentDuplicatesCoalesce(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const par = 16
+	s.schedFlightHook = func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for s.flight.Stats().Coalesced < par-1 && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	body, err := json.Marshal(ScheduleRequest{ProgramInput: ProgramInput{Workload: "compress"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]ScheduleResponse, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.doSchedule(body)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = v.(ScheduleResponse)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("request errors above")
+	}
+	base := results[0]
+	coalesced := 0
+	for i, r := range results {
+		if r.CacheHits+r.CacheMisses != r.Scheduled {
+			t.Fatalf("request %d: hits %d + misses %d != scheduled %d",
+				i, r.CacheHits, r.CacheMisses, r.Scheduled)
+		}
+		if r.ProgramKey != base.ProgramKey || r.Blocks != base.Blocks ||
+			r.Scheduled != base.Scheduled || r.NotScheduled != base.NotScheduled ||
+			r.CostBefore != base.CostBefore || r.CostAfter != base.CostAfter ||
+			r.Changed != base.Changed {
+			t.Fatalf("concurrent identical requests diverged:\n%+v\nvs\n%+v", r, base)
+		}
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != par-1 {
+		t.Fatalf("%d of %d responses coalesced, want %d", coalesced, par, par-1)
+	}
+	st := s.flight.Stats()
+	if st.Leaders != 1 || st.Coalesced != par-1 {
+		t.Fatalf("flight stats = %+v, want Leaders=1 Coalesced=%d", st, par-1)
+	}
+	if got := scrape(t, ts.URL, "codecache_coalesced_total"); got != st.Coalesced {
+		t.Fatalf("codecache_coalesced_total = %d, flight reports %d", got, st.Coalesced)
+	}
+	if got := scrape(t, ts.URL, "codecache_flight_leaders_total"); got != st.Leaders {
+		t.Fatalf("codecache_flight_leaders_total = %d, flight reports %d", got, st.Leaders)
+	}
+}
+
+// TestExecuteConcurrentDuplicates checks the execute path under the same
+// stampede: followers wait out the leader's pass, replay their own
+// program from the warmed cache, and simulate to identical results.
+func TestExecuteConcurrentDuplicates(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	body, err := json.Marshal(ExecuteRequest{ProgramInput: ProgramInput{Source: testSource}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const par = 8
+	results := make([]ExecuteResponse, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.doExecute(body)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = v.(ExecuteResponse)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("request errors above")
+	}
+	base := results[0]
+	for i, r := range results {
+		if r.Ret != base.Ret || r.Cycles != base.Cycles || r.DynInstrs != base.DynInstrs ||
+			r.Scheduled != base.Scheduled {
+			t.Fatalf("request %d: concurrent identical executes diverged:\n%+v\nvs\n%+v", i, r, base)
+		}
+		if r.CacheHits+r.CacheMisses != r.Scheduled {
+			t.Fatalf("request %d: hits %d + misses %d != scheduled %d",
+				i, r.CacheHits, r.CacheMisses, r.Scheduled)
+		}
+	}
+}

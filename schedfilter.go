@@ -125,6 +125,12 @@ type (
 	CacheStats = codecache.Stats
 	// CacheKey is a 256-bit content fingerprint of a block or program.
 	CacheKey = codecache.Key
+	// ScheduleFlight coalesces concurrent duplicate compile work keyed
+	// by content fingerprint: N identical in-flight requests cost one
+	// scheduling pass. The zero value is ready to use.
+	ScheduleFlight = codecache.Flight
+	// ScheduleFlightStats is a snapshot of a ScheduleFlight's counters.
+	ScheduleFlightStats = codecache.FlightStats
 	// Target is a named, immutable machine model from the target
 	// registry. Every layer that needs a machine resolves one of these;
 	// the registered Model must not be mutated (Clone it for variants).
