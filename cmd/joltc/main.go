@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	joltc [-o prog.jzbc] [-dump ast|bytecode|ir] [-inline=true] [-unroll 4] prog.jolt
+//	joltc [-o prog.jzbc] [-dump ast|bytecode|ir] [-inline=true] [-unroll 4]
+//	      [-policy spec] [-target name] prog.jolt
+//
+// -policy runs the scheduling pass over the compiled program before the
+// IR is dumped (always|ls, never|ns, size:N, cost:N,
+// portfolio:spec+spec, rules:FILE), so `joltc -dump ir -policy ls` shows
+// the instruction order the JIT would actually emit under that policy;
+// -target picks the machine model the pass schedules for. Both apply
+// only to -dump ir.
 package main
 
 import (
@@ -12,8 +20,11 @@ import (
 	"os"
 
 	"schedfilter/internal/bytecode"
+	"schedfilter/internal/cliflags"
+	"schedfilter/internal/core"
 	"schedfilter/internal/jit"
 	"schedfilter/internal/jolt"
+	"schedfilter/internal/machine"
 )
 
 func main() {
@@ -21,7 +32,13 @@ func main() {
 	dump := flag.String("dump", "", "dump a phase: 'ast', 'bytecode', or 'ir'")
 	inline := flag.Bool("inline", true, "enable the bytecode inliner for -dump ir")
 	unroll := flag.Int("unroll", 0, "unroll factor for counted loops (0 disables)")
+	policySpec := cliflags.Policy(flag.CommandLine, "",
+		"-dump ir: run the scheduling pass under this policy before dumping: "+cliflags.PolicySyntax)
+	target := cliflags.Target(flag.CommandLine, "-dump ir: machine target the scheduling pass runs against")
 	flag.Parse()
+	if *policySpec != "" && *dump != "ir" {
+		fatal(fmt.Errorf("-policy only applies to -dump ir (the scheduling pass runs on machine IR)"))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: joltc [-o out.jzbc] [-dump ast|bytecode|ir] [-unroll k] prog.jolt")
 		os.Exit(2)
@@ -57,6 +74,19 @@ func main() {
 		prog, err := jit.Compile(mod, opts)
 		if err != nil {
 			fatal(err)
+		}
+		if *policySpec != "" {
+			tgt, err := machine.ByName(*target)
+			if err != nil {
+				fatal(err)
+			}
+			filter, err := cliflags.ResolvePolicy(*policySpec, tgt.Name)
+			if err != nil {
+				fatal(err)
+			}
+			stats := core.ApplyFilter(tgt.Model, prog, filter)
+			fmt.Fprintf(os.Stderr, "joltc: scheduled under %s on %s: %d/%d blocks scheduled, %d reordered\n",
+				filter.Name(), tgt.Name, stats.Scheduled, stats.Blocks, stats.Changed)
 		}
 		fmt.Print(prog.String())
 	default:

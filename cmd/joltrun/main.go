@@ -6,8 +6,13 @@
 // Usage:
 //
 //	joltrun [-workload name | prog.jolt | prog.jzbc]
-//	        [-sched ls|ns|size:N|rules:FILE] [-timed] [-interp]
-//	        [-target name]
+//	        [-policy spec | -sched ls|ns|size:N|rules:FILE]
+//	        [-timed] [-interp] [-target name]
+//
+// -policy selects the scheduling policy by spec (always, never, size:N,
+// cost:N, portfolio:spec+spec, rules:FILE — see schedfilter.PolicyKinds)
+// and wins over the historical -sched spelling, which stays for
+// compatibility.
 //
 // -target picks the machine model (scheduling latencies and, with
 // -timed, simulated cycle timing) by registry name; the default is
@@ -20,11 +25,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"schedfilter"
 	"schedfilter/internal/bytecode"
+	"schedfilter/internal/cliflags"
 )
 
 func decodeModule(r io.Reader) (*schedfilter.Module, error) {
@@ -33,10 +38,11 @@ func decodeModule(r io.Reader) (*schedfilter.Module, error) {
 
 func main() {
 	workload := flag.String("workload", "", "run a bundled benchmark instead of a file")
-	schedSpec := flag.String("sched", "ns", "protocol: ls, ns, size:N, or rules:FILE")
+	schedSpec := flag.String("sched", "ns", "historical protocol spelling: ls, ns, size:N, or rules:FILE")
+	policySpec := cliflags.Policy(flag.CommandLine, "", "scheduling policy (wins over -sched): "+cliflags.PolicySyntax)
 	timed := flag.Bool("timed", false, "run the cycle-accurate timing simulator")
 	useInterp := flag.Bool("interp", false, "run the bytecode interpreter instead of compiled code")
-	target := flag.String("target", schedfilter.DefaultTargetName, "machine target to schedule and time for (see schedfilter.Targets)")
+	target := cliflags.Target(flag.CommandLine, "machine target to schedule and time for (see schedfilter.Targets)")
 	flag.Parse()
 
 	mod, err := loadModule(*workload, flag.Args())
@@ -65,7 +71,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	filter, err := parseFilter(*schedSpec)
+	spec := *policySpec
+	if spec == "" {
+		spec = *schedSpec
+	}
+	filter, err := cliflags.ResolvePolicy(spec, tgt.Name)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,32 +120,6 @@ func loadModule(workload string, args []string) (*schedfilter.Module, error) {
 		return nil, err
 	}
 	return schedfilter.CompileJolt(string(src))
-}
-
-func parseFilter(spec string) (schedfilter.Filter, error) {
-	switch {
-	case spec == "ls":
-		return schedfilter.AlwaysSchedule, nil
-	case spec == "ns":
-		return schedfilter.NeverSchedule, nil
-	case strings.HasPrefix(spec, "size:"):
-		n, err := strconv.Atoi(spec[len("size:"):])
-		if err != nil {
-			return nil, fmt.Errorf("bad size threshold in %q", spec)
-		}
-		return schedfilter.SizeFilter(n), nil
-	case strings.HasPrefix(spec, "rules:"):
-		text, err := os.ReadFile(spec[len("rules:"):])
-		if err != nil {
-			return nil, err
-		}
-		rs, err := schedfilter.ParseRuleSet(string(text))
-		if err != nil {
-			return nil, err
-		}
-		return schedfilter.NewRuleFilter(rs, "L/N"), nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q (want ls, ns, size:N, rules:FILE)", spec)
 }
 
 func fatal(err error) {

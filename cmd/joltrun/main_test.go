@@ -7,9 +7,10 @@ import (
 	"testing"
 
 	"schedfilter"
+	"schedfilter/internal/cliflags"
 )
 
-func TestParseFilterFixed(t *testing.T) {
+func TestResolvePolicyFixed(t *testing.T) {
 	cases := []struct {
 		spec string
 		name string
@@ -17,14 +18,15 @@ func TestParseFilterFixed(t *testing.T) {
 		{"ls", "LS"},
 		{"ns", "NS"},
 		{"size:7", "size>=7"},
+		{"cost:9", "cost>=9"},
 	}
 	for _, c := range cases {
-		f, err := parseFilter(c.spec)
+		f, err := cliflags.ResolvePolicy(c.spec, "")
 		if err != nil {
-			t.Fatalf("parseFilter(%q): %v", c.spec, err)
+			t.Fatalf("ResolvePolicy(%q): %v", c.spec, err)
 		}
 		if f.Name() != c.name {
-			t.Errorf("parseFilter(%q).Name() = %q, want %q", c.spec, f.Name(), c.name)
+			t.Errorf("ResolvePolicy(%q).Name() = %q, want %q", c.spec, f.Name(), c.name)
 		}
 	}
 }
@@ -36,22 +38,26 @@ func TestParseFilterRules(t *testing.T) {
 	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f, err := parseFilter("rules:" + path)
+	f, err := cliflags.ResolvePolicy("rules:"+path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var big, small schedfilter.FeatureVector
 	big[0], small[0] = 12, 3
-	if !f.ShouldSchedule(big) || f.ShouldSchedule(small) {
+	if !schedfilter.Schedules(f, big) || schedfilter.Schedules(f, small) {
 		t.Error("rules filter decisions wrong")
 	}
 }
 
-func TestParseFilterErrors(t *testing.T) {
-	for _, spec := range []string{"", "bogus", "size:x", "rules:/nonexistent/file"} {
-		if _, err := parseFilter(spec); err == nil {
-			t.Errorf("parseFilter(%q) succeeded, want error", spec)
+func TestResolvePolicyErrors(t *testing.T) {
+	for _, spec := range []string{"bogus", "size:x", "rules:/nonexistent/file"} {
+		if _, err := cliflags.ResolvePolicy(spec, ""); err == nil {
+			t.Errorf("ResolvePolicy(%q) succeeded, want error", spec)
 		}
+	}
+	// Empty means unset, not an error: the -sched default applies.
+	if f, err := cliflags.ResolvePolicy("", ""); f != nil || err != nil {
+		t.Errorf("ResolvePolicy(\"\") = %v, %v; want nil, nil", f, err)
 	}
 }
 

@@ -9,15 +9,16 @@
 // Commands:
 //
 //	compile   -src FILE | -workload NAME [-listing] [-target T]
-//	schedule  -src FILE | -workload NAME [-filter F] [-no-cache] [-target T]
-//	predict   -src FILE | -workload NAME [-filter F] [-detail] [-target T]
-//	execute   -src FILE | -workload NAME [-filter F] [-untimed] [-target T]
+//	schedule  -src FILE | -workload NAME [-policy P] [-filter F] [-no-cache] [-target T]
+//	predict   -src FILE | -workload NAME [-policy P] [-filter F] [-detail] [-target T]
+//	execute   -src FILE | -workload NAME [-policy P] [-filter F] [-untimed] [-target T]
 //	health
 //	metrics
 //	cluster
 //	filters   list | activate -v N [-target T] | rollback [-target T]
+//	policies  list
 //	retrain   [-target T]
-//	loadgen   [-workload NAME] [-src FILE] [-filter F] [-target T] [-n 200] [-c 8]
+//	loadgen   [-workload NAME] [-src FILE] [-policy P] [-filter F] [-target T] [-n 200] [-c 8]
 //
 // Requests go through the shared retrying client (internal/httpc):
 // -timeout bounds one attempt, -retries re-attempts transient failures
@@ -25,9 +26,16 @@
 // -addr may point at a single schedserved or at a schedgate cluster
 // gateway — the compile-path commands are identical either way.
 //
-// Filters: default (the server's), LS, NS, size:N.
+// Policies: always|ls, never|ns, size:N, cost:N, portfolio:spec+spec
+// (see schedctl policies list for the server's registered kinds); the
+// -policy flag wins over -filter, the historical spelling of the same
+// choice, and empty means the server's default.
 // Targets: registered machine names (schedctl health lists them); empty
 // means the server's default.
+//
+// The policies command asks the server (or every node behind a gateway)
+// for GET /v1/policies: the registered policy kinds plus each servable
+// target's active policy with kind, content identity, and provenance.
 //
 // The filters and retrain commands drive the server's online-learning
 // loop (schedserved -online): retrain runs one labelling + induction +
@@ -67,6 +75,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"schedfilter/internal/cliflags"
 	"schedfilter/internal/cluster"
 	"schedfilter/internal/httpc"
 	"schedfilter/internal/server"
@@ -96,6 +105,8 @@ func main() {
 		err = runCluster(c)
 	case "filters":
 		err = runFilters(c, args)
+	case "policies":
+		err = runPolicies(c, args)
 	case "retrain":
 		err = runRetrain(c, args)
 	case "loadgen":
@@ -112,7 +123,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] [-timeout D] [-retries N] {compile|schedule|predict|execute|health|metrics|cluster|filters|retrain|loadgen} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] [-timeout D] [-retries N] {compile|schedule|predict|execute|health|metrics|cluster|filters|policies|retrain|loadgen} [flags]")
 }
 
 // client wraps the shared retrying HTTP client with the error shaping
@@ -146,13 +157,14 @@ func (c *client) getText(path string, w io.Writer) error {
 	return err
 }
 
-// inputFlags registers the program-input and filter flags shared by every
-// compiler command.
-func inputFlags(fs *flag.FlagSet) (src, workload, filter, target *string) {
+// inputFlags registers the program-input and policy flags shared by
+// every compiler command.
+func inputFlags(fs *flag.FlagSet) (src, workload, filter, policy, target *string) {
 	src = fs.String("src", "", "Jolt source file")
 	workload = fs.String("workload", "", "bundled benchmark name (alternative to -src)")
-	filter = fs.String("filter", "", "scheduling filter: default, LS, NS, size:N")
-	target = fs.String("target", "", "machine target (empty = server default; unknown names are rejected)")
+	filter = fs.String("filter", "", "historical filter spelling: default, LS, NS, size:N")
+	policy = cliflags.Policy(fs, "", "scheduling policy spec (wins over -filter; empty = server default): always|ls, never|ns, size:N, cost:N, portfolio:spec+spec")
+	target = cliflags.TargetDefault(fs, "", "machine target (empty = server default; unknown names are rejected)")
 	return
 }
 
@@ -177,7 +189,7 @@ func makeInput(src, workload, target string) (server.ProgramInput, error) {
 
 func runRequest(c *client, cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	src, workload, filter, target := inputFlags(fs)
+	src, workload, filter, policySpec, target := inputFlags(fs)
 	listing := fs.Bool("listing", false, "compile: include the machine-code listing")
 	noCache := fs.Bool("no-cache", false, "schedule: bypass the scheduled-block cache")
 	detail := fs.Bool("detail", false, "predict: per-block decisions")
@@ -189,6 +201,7 @@ func runRequest(c *client, cmd string, args []string) error {
 	if err != nil {
 		return err
 	}
+	in.Policy = *policySpec
 	spec := server.FilterSpec{Filter: *filter}
 	var req any
 	switch cmd {
@@ -296,6 +309,72 @@ func runFilters(c *client, args []string) error {
 		return printAction("rolled back to", r.Body)
 	default:
 		return fmt.Errorf("filters: unknown subcommand %q (want list, activate, or rollback)", sub)
+	}
+}
+
+// runPolicies drives the policy layer: list shows the registered
+// policy kinds and each target's active policy.
+func runPolicies(c *client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: schedctl policies list")
+	}
+	sub := args[0]
+	switch sub {
+	case "list":
+		return c.getJSONPolicies()
+	default:
+		return fmt.Errorf("policies: unknown subcommand %q (want list)", sub)
+	}
+}
+
+// getJSONPolicies fetches and pretty-prints GET /v1/policies — either a
+// single node's view or, from a gateway, every node's side by side.
+func (c *client) getJSONPolicies() error {
+	var buf bytes.Buffer
+	if err := c.getText("/v1/policies", &buf); err != nil {
+		return err
+	}
+	var bc cluster.BroadcastResponse
+	if json.Unmarshal(buf.Bytes(), &bc) == nil && bc.Op == "policies" && len(bc.Nodes) > 0 {
+		for _, n := range bc.Nodes {
+			if n.Error != "" {
+				fmt.Printf("node %s: HTTP %d: %s\n", n.Node, n.Status, n.Error)
+				continue
+			}
+			var pr server.PoliciesResponse
+			if json.Unmarshal(n.Response, &pr) == nil {
+				fmt.Printf("node %s:\n", n.Node)
+				printPolicies("  ", pr)
+			}
+		}
+		return nil
+	}
+	var resp server.PoliciesResponse
+	if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+		// Not JSON (or an error body): show it raw.
+		_, werr := os.Stdout.Write(buf.Bytes())
+		return werr
+	}
+	printPolicies("", resp)
+	return nil
+}
+
+func printPolicies(indent string, resp server.PoliciesResponse) {
+	if len(resp.Kinds) > 0 {
+		fmt.Printf("%skinds:\n", indent)
+		for _, k := range resp.Kinds {
+			fmt.Printf("%s  %-10s %s\n", indent, k.Name, k.Description)
+		}
+	}
+	for _, p := range resp.Active {
+		fmt.Printf("%starget %s: %s (kind %s, id %s", indent, p.Target, p.Name, p.Kind, p.ID)
+		if p.TrainedFor != "" && p.TrainedFor != p.Target {
+			fmt.Printf(", trained for %s", p.TrainedFor)
+		}
+		if p.Version > 0 {
+			fmt.Printf(", v%d", p.Version)
+		}
+		fmt.Println(")")
 	}
 }
 
@@ -460,7 +539,7 @@ func (c *client) scrape() (vals map[string]int64, hasCache bool, err error) {
 
 func runLoadgen(c *client, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	src, workload, filter, target := inputFlags(fs)
+	src, workload, filter, policySpec, target := inputFlags(fs)
 	n := fs.Int("n", 200, "total requests")
 	conc := fs.Int("c", 8, "concurrent clients")
 	if err := fs.Parse(args); err != nil {
@@ -473,6 +552,7 @@ func runLoadgen(c *client, args []string) error {
 	if err != nil {
 		return err
 	}
+	in.Policy = *policySpec
 	req := server.ScheduleRequest{ProgramInput: in, FilterSpec: server.FilterSpec{Filter: *filter}}
 
 	before, hasCache, err := c.scrape()

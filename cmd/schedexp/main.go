@@ -10,6 +10,8 @@
 //	schedexp -exp server -json                     # compile-server benchmark → BENCH_server.json
 //	schedexp -exp server -json -out /tmp/s.json    # ...to an explicit path
 //	schedexp -exp targets -json                    # cross-target matrix → BENCH_targets.json
+//	schedexp -exp policies -json                   # policy × target matrix → BENCH_policies.json
+//	schedexp -exp policies -policy always,size:5   # ...with explicit matrix rows
 //	schedexp -exp online -json                     # retrain-under-load loop → BENCH_online.json
 //	schedexp -exp cluster -json                    # gateway + 3 backends → BENCH_cluster.json
 //	schedexp -exp hotpath -json                    # per-block scheduling path → BENCH_hotpath.json
@@ -18,12 +20,16 @@
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 //
 //	fig1a fig1b fig2a fig2b fig3a fig3b fig4 ablation models superblocks
-//	sbfilter adaptive server pipeline targets online cluster hotpath all
+//	sbfilter adaptive server pipeline targets policies online cluster hotpath all
 //
 // -experiment is an alias for -exp. -target picks the machine model the
 // experiments run against by registry name (default mpc7410; see
 // schedfilter.Targets()). The targets experiment ignores -target — it
-// sweeps its own train×eval grid.
+// sweeps its own train×eval grid — and so does policies, which sweeps
+// the registry's matrix targets; -policy overrides the policies
+// experiment's rows with a comma-separated list of policy specs
+// (always, never, size:N, cost:N, portfolio:spec+spec, or "ripper" for
+// the per-target trained filter).
 //
 // -j N bounds the experiment engine's worker pool (default: GOMAXPROCS).
 // Every table and figure is byte-identical at any -j; wall-clock
@@ -53,12 +59,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"schedfilter"
+	"schedfilter/internal/cliflags"
 	"schedfilter/internal/experiments"
 	"schedfilter/internal/machine"
-	"schedfilter/internal/profileflags"
 	"schedfilter/internal/serverbench"
 	"schedfilter/internal/workloads"
 )
@@ -69,9 +76,10 @@ func main() {
 	adaptiveMode := flag.Bool("adaptive", false, "run the adaptive-tier comparison (shorthand for -exp adaptive)")
 	jsonOut := flag.Bool("json", false, "also write the step's benchmark numbers as a JSON artifact")
 	outPath := flag.String("out", "", "JSON artifact path (default BENCH_adaptive.json / BENCH_server.json per step)")
-	jobs := flag.Int("j", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS, 1 = serial)")
-	target := flag.String("target", "", "machine target the experiments run against (default: "+machine.DefaultTargetName+")")
-	prof := profileflags.Register(flag.CommandLine)
+	jobs := cliflags.Jobs(flag.CommandLine, "worker pool size for the experiment engine (0 = GOMAXPROCS, 1 = serial)")
+	target := cliflags.TargetDefault(flag.CommandLine, "", "machine target the experiments run against (default: "+machine.DefaultTargetName+")")
+	policies := flag.String("policy", "", "policies experiment: comma-separated policy specs for the matrix rows (default: the built-in grid; \"ripper\" names the per-target trained filter)")
+	prof := cliflags.Profile(flag.CommandLine)
 	flag.Parse()
 	if *expAlias != "" {
 		*exp = *expAlias
@@ -99,7 +107,7 @@ func main() {
 	}
 	r := schedfilter.NewExperimentRunner(cfg)
 	start := time.Now()
-	err = run(r, cfg, *jobs, *exp, *target, *jsonOut, *outPath)
+	err = run(r, cfg, *jobs, *exp, *target, *policies, *jsonOut, *outPath)
 	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedexp:", err)
@@ -125,7 +133,7 @@ func writeArtifact(enabled bool, outPath, defaultPath string, v any) error {
 	return nil
 }
 
-func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp, target string, jsonOut bool, outPath string) error {
+func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp, target, policies string, jsonOut bool, outPath string) error {
 	all := exp == "all"
 	did := false
 	show := func(name string, f func() error) error {
@@ -318,6 +326,27 @@ func run(r *experiments.Runner, cfg experiments.Config, jobs int, exp, target st
 		}
 		fmt.Println(res.Render())
 		if err := writeArtifact(jsonOut, outPath, "BENCH_targets.json", res); err != nil {
+			return err
+		}
+	}
+	// The policies experiment collects both suites once per machine in
+	// the grid (cold caches, its own machines), trains the ripper row per
+	// target, and scores every policy spec against every target. Runs by
+	// name only.
+	if exp == "policies" {
+		did = true
+		var specs []string
+		for _, spec := range strings.Split(policies, ",") {
+			if spec = strings.TrimSpace(spec); spec != "" {
+				specs = append(specs, spec)
+			}
+		}
+		res, err := experiments.CrossPolicies(cfg, nil, specs, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeArtifact(jsonOut, outPath, "BENCH_policies.json", res); err != nil {
 			return err
 		}
 	}

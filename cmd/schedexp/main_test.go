@@ -34,7 +34,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
-	if err := run(r, schedfilter.DefaultExperimentConfig(), 0, "tableX", "", false, ""); err == nil {
+	if err := run(r, schedfilter.DefaultExperimentConfig(), 0, "tableX", "", "", false, ""); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -42,7 +42,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunStaticTables(t *testing.T) {
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
 	for _, exp := range []string{"table1", "table2", "table7"} {
-		out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, exp, "", false, "") })
+		out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, exp, "", "", false, "") })
 		if err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
@@ -54,7 +54,7 @@ func TestRunStaticTables(t *testing.T) {
 
 func TestRunTable5EndToEnd(t *testing.T) {
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
-	out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, "table5", "", false, "") })
+	out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, "table5", "", "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestRunTable5EndToEnd(t *testing.T) {
 
 func TestRunFigure4EndToEnd(t *testing.T) {
 	r := schedfilter.NewExperimentRunner(schedfilter.DefaultExperimentConfig())
-	out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, "fig4", "", false, "") })
+	out, err := captureStdout(t, func() error { return run(r, schedfilter.DefaultExperimentConfig(), 0, "fig4", "", "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@
 //	schedgate -backends a=http://127.0.0.1:8723,b=http://127.0.0.1:8733
 //	          [-addr :8724] [-check-every 250ms] [-timeout 60s]
 //	          [-retries 2] [-hedge-after 300ms] [-replicas 128]
-//	          [-drain 10s] [-j N]
+//	          [-drain 10s] [-j N] [-policy spec]
 //
 // Compile-path requests (/v1/compile, /v1/schedule, /v1/predict,
 // /v1/execute) are routed by consistent hashing on the request's program
@@ -17,11 +17,20 @@
 // the primary exceeds -hedge-after. POST /v1/batch fans a list of
 // programs across the shards in one call.
 //
+// The routing key includes the request's policy identity, so repeat
+// compilations under the same policy stay co-located with their cache
+// entries. -policy sets a cluster-wide default scheduling policy spec
+// (always|ls, never|ns, size:N, cost:N, portfolio:spec+spec): requests
+// that name neither a policy nor a filter are rewritten to carry it, so
+// every backend serves the same default no matter how it was booted;
+// pinned requests pass through untouched.
+//
 // Filter-lifecycle operations (/v1/retrain, /v1/filters/{v}/activate,
-// /v1/filters/rollback) broadcast to every healthy backend; GET
-// /v1/cluster reports per-node health and filter versions plus a
-// per-target convergence verdict. GET /healthz and GET /metrics
-// (schedgate_* series) cover the gateway itself.
+// /v1/filters/rollback) broadcast to every healthy backend, and GET
+// /v1/policies and /v1/filters fan out to every node; GET /v1/cluster
+// reports per-node health and filter versions plus a per-target
+// convergence verdict. GET /healthz and GET /metrics (schedgate_*
+// series) cover the gateway itself.
 //
 // Backends are polled every -check-every; a node answering anything but
 // 200 "ok" (including 503 "draining" during its graceful shutdown)
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"schedfilter/internal/cliflags"
 	"schedfilter/internal/cluster"
 )
 
@@ -55,7 +65,20 @@ func main() {
 	replicas := flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = 128)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	jobs := flag.Int("j", 0, "batch/broadcast fan-out width (0 = GOMAXPROCS)")
+	policySpec := cliflags.Policy(flag.CommandLine, "",
+		"cluster-wide default policy spec injected into requests that pin neither a policy nor a filter: always|ls, never|ns, size:N, cost:N, portfolio:spec+spec")
 	flag.Parse()
+
+	// The spec travels to the backends, which resolve it against their
+	// own registries — so rules:FILE (a gateway-local path) is out, and
+	// the rest is validated here so a typo fails at boot, not at the
+	// first request.
+	if strings.HasPrefix(*policySpec, "rules:") {
+		fatal(fmt.Errorf("bad -policy: rules:FILE is backend-local; name a spec the backends can resolve"))
+	}
+	if _, err := cliflags.ResolvePolicy(*policySpec, ""); err != nil {
+		fatal(fmt.Errorf("bad -policy: %w", err))
+	}
 
 	members, err := cluster.ParseMembers(*backends)
 	if err != nil {
@@ -69,6 +92,7 @@ func main() {
 		Retries:       *retries,
 		HedgeAfter:    *hedgeAfter,
 		Jobs:          *jobs,
+		DefaultPolicy: *policySpec,
 	})
 	if err != nil {
 		fatal(err)

@@ -7,14 +7,17 @@
 // Usage:
 //
 //	schedserved [-addr :8723] [-node NAME] [-model rules.txt] [-filter factory]
-//	            [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
+//	            [-policy spec] [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
 //	            [-target mpc7410]
 //	            [-online] [-retrain-every 0] [-spill DIR]
 //	            [-online-threshold 20] [-online-min 64] [-online-samples 4096]
 //
-// The -filter flag selects the default filter applied when a request does
-// not name one: "factory" (the loaded model), "LS", "NS", or "size:N".
-// Model files are produced by schedtrain -o or schedfilter.SaveFilter.
+// The -policy flag selects the default scheduling policy applied when a
+// request does not name one: "factory" (the loaded model) or any policy
+// spec — always/LS, never/NS, size:N, cost:N, portfolio:spec+spec,
+// rules:FILE. It wins over -filter, the historical spelling of the same
+// choice. Model files are produced by schedtrain -o or
+// schedfilter.SaveFilter.
 //
 // -online enables the online-learning loop: live traffic feeds per-target
 // sample reservoirs, POST /v1/retrain (or the -retrain-every ticker, when
@@ -51,12 +54,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"schedfilter"
+	"schedfilter/internal/cliflags"
 	"schedfilter/internal/server"
 )
 
@@ -71,12 +74,14 @@ func main() {
 	addr := flag.String("addr", ":8723", "listen address")
 	node := flag.String("node", "", "this instance's cluster node name, reported on /healthz and X-Sched-Node (default: the listen address)")
 	modelPath := flag.String("model", "", "model file to boot the induced filter from (default: embedded factory model)")
-	filterName := flag.String("filter", "factory", "default request filter: factory, LS, NS, or size:N")
+	filterName := flag.String("filter", "factory", "historical default-filter spelling: factory, LS, NS, or size:N")
 	workers := flag.Int("workers", 0, "compile worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers); overflow is rejected with 429")
 	cacheWeight := flag.Int("cache", 0, "scheduled-block cache bound in words (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	target := flag.String("target", schedfilter.DefaultTargetName, "default machine target for requests that don't name one")
+	target := cliflags.TargetDefault(flag.CommandLine, schedfilter.DefaultTargetName, "default machine target for requests that don't name one")
+	policySpec := cliflags.Policy(flag.CommandLine, "",
+		"default scheduling policy (wins over -filter; \"factory\" = the loaded model): "+cliflags.PolicySyntax)
 	onlineFlag := flag.Bool("online", false, "enable the online-learning loop (live sampling, retraining, filter hot-swap)")
 	retrainEvery := flag.Duration("retrain-every", 0, "online: background retraining interval (0 = retrain only on POST /v1/retrain)")
 	spill := flag.String("spill", "", "online: directory for JSONL reservoir spill/restore (empty = in-memory only)")
@@ -92,7 +97,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	filter, err := pickFilter(*filterName, induced)
+	name := *filterName
+	if *policySpec != "" {
+		name = *policySpec
+	}
+	filter, err := pickFilter(name, *target, induced)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,23 +155,19 @@ func loadModel(path, target string) (*schedfilter.InducedFilter, error) {
 	return schedfilter.LoadFilterFor(path, target)
 }
 
-func pickFilter(name string, induced *schedfilter.InducedFilter) (schedfilter.Filter, error) {
-	switch {
-	case strings.EqualFold(name, "factory"):
+// pickFilter resolves the default serving policy: "factory" (or
+// "ripper") selects the loaded model, everything else goes through the
+// shared policy-spec resolver (always/LS, never/NS, size:N, cost:N,
+// portfolio:..., rules:FILE).
+func pickFilter(name, target string, induced *schedfilter.InducedFilter) (schedfilter.Filter, error) {
+	if strings.EqualFold(name, "factory") || strings.EqualFold(name, "ripper") {
 		return induced, nil
-	case strings.EqualFold(name, "LS"):
-		return schedfilter.AlwaysSchedule, nil
-	case strings.EqualFold(name, "NS"):
-		return schedfilter.NeverSchedule, nil
-	case strings.HasPrefix(name, "size:"):
-		n, err := strconv.Atoi(name[len("size:"):])
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad -filter %q (want size:N)", name)
-		}
-		return schedfilter.SizeFilter(n), nil
-	default:
-		return nil, fmt.Errorf("unknown -filter %q (want factory, LS, NS, or size:N)", name)
 	}
+	f, err := cliflags.ResolvePolicy(name, target)
+	if err != nil {
+		return nil, fmt.Errorf("bad policy %q: %w (want factory or %s)", name, err, cliflags.PolicySyntax)
+	}
+	return f, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,13 @@
 //
 //	schedtrain [-suite 1|2|all] [-t 20] [-loo benchmark] [-o rules.txt]
 //	           [-csv instances.csv] [-stats] [-j N] [-target name]
+//	           [-policy spec]
+//
+// -policy names a reference scheduling policy (always, never, size:N,
+// cost:N, portfolio:spec+spec, rules:FILE); when set, the trained filter
+// and the reference are scored side by side on the collected data —
+// predicted time vs never-scheduling and blocks sent to the scheduler —
+// before the rule set is written.
 //
 // -j N fans the per-benchmark collection (compile, profile, schedule
 // experimentally) across N workers; 0 means GOMAXPROCS, 1 forces the
@@ -29,7 +36,7 @@ import (
 	"os"
 
 	"schedfilter"
-	"schedfilter/internal/profileflags"
+	"schedfilter/internal/cliflags"
 	"schedfilter/internal/training"
 	"schedfilter/internal/workloads"
 )
@@ -44,9 +51,11 @@ func main() {
 	out := flag.String("o", "", "write the rule set to this file instead of stdout")
 	csvPath := flag.String("csv", "", "also dump the raw instances as CSV to this file")
 	stats := flag.Bool("stats", true, "print training-set statistics")
-	jobs := flag.Int("j", 0, "workers for data collection (0 = GOMAXPROCS, 1 = serial)")
-	target := flag.String("target", schedfilter.DefaultTargetName, "machine target to train against (see schedfilter.Targets)")
-	prof := profileflags.Register(flag.CommandLine)
+	jobs := cliflags.Jobs(flag.CommandLine, "workers for data collection (0 = GOMAXPROCS, 1 = serial)")
+	target := cliflags.Target(flag.CommandLine, "machine target to train against (see schedfilter.Targets)")
+	policySpec := cliflags.Policy(flag.CommandLine, "",
+		"reference policy to score against the trained filter on the collected data: "+cliflags.PolicySyntax)
+	prof := cliflags.Profile(flag.CommandLine)
 	flag.Parse()
 
 	stop, err := prof.Start()
@@ -110,6 +119,14 @@ func main() {
 		filter = schedfilter.TrainFilter(data, *t, schedfilter.DefaultRipperOptions())
 	}
 
+	if *policySpec != "" {
+		ref, err := cliflags.ResolvePolicy(*policySpec, tgt.Name)
+		if err != nil {
+			fatal(err)
+		}
+		comparePolicies(data, filter, ref)
+	}
+
 	if *out != "" {
 		// Model files are written in the round-trippable full-precision
 		// format (label header included) so the compile-server daemon can
@@ -121,6 +138,23 @@ func main() {
 		return
 	}
 	fmt.Print(filter.Rules.String())
+}
+
+// comparePolicies scores the reference policy against the trained
+// filter on the collected data: per-benchmark predicted time relative
+// to never-scheduling, plus how many blocks each sends to the scheduler.
+func comparePolicies(data []*training.BenchData, trained, ref schedfilter.Filter) {
+	fmt.Fprintf(os.Stderr, "schedtrain: %-10s %16s %16s\n", "benchmark",
+		"trained %NS(LS#)", ref.Name()+" %NS(LS#)")
+	for _, bd := range data {
+		ns := training.PredictedTime(bd, schedfilter.NeverSchedule)
+		ft := training.PredictedTime(bd, trained)
+		fr := training.PredictedTime(bd, ref)
+		tls, _ := training.Decisions(bd, trained)
+		rls, _ := training.Decisions(bd, ref)
+		fmt.Fprintf(os.Stderr, "schedtrain: %-10s %9.2f (%4d) %9.2f (%4d)\n", bd.Name,
+			100*float64(ft)/float64(ns), tls, 100*float64(fr)/float64(ns), rls)
+	}
 }
 
 func fatal(err error) {

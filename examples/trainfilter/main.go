@@ -64,7 +64,7 @@ func classificationError(f schedfilter.Filter, bd *schedfilter.BenchData, t int)
 			continue // dropped by the threshold, as in the paper
 		}
 		total++
-		if f.ShouldSchedule(r.Feat) != label {
+		if schedfilter.Schedules(f, r.Feat) != label {
 			wrong++
 		}
 	}

@@ -53,8 +53,12 @@ type Config struct {
 	// Target names a registered machine target to run against. It is
 	// consulted only when Model is nil; an unknown name is an error.
 	Target string
-	// Filter gates the list scheduler inside the optimized tier; nil
-	// means always schedule (plain LS at the top tier).
+	// Policy gates the list scheduler inside the optimized tier (the
+	// whether-to-schedule decision procedure); nil means always schedule
+	// (plain LS at the top tier).
+	Policy core.Filter
+	// Filter is the historical name for Policy; it is consulted only
+	// when Policy is nil.
 	Filter core.Filter
 	// Module, when set, lets workers recompile promoted functions from
 	// bytecode through the full JIT pipeline (jit.CompileFn); without it
@@ -70,9 +74,10 @@ type Config struct {
 	// QueueDepth bounds the promotion queue; when it is full, promotions
 	// are deferred to a later sample (default 16).
 	QueueDepth int
-	// Policy tunes the controller's cost/benefit promotion decision.
+	// Promotion tunes the controller's cost/benefit promotion decision
+	// (when to recompile, as opposed to Policy's whether to schedule).
 	// Zero-valued fields take their defaults.
-	Policy Policy
+	Promotion Promotion
 	// MemWords and StepLimit configure the underlying simulator runs
 	// (zero values mean the simulator defaults).
 	MemWords  int
@@ -92,9 +97,13 @@ func (cfg Config) withDefaults() (Config, error) {
 		}
 		cfg.Model = tgt.Model
 	}
-	if cfg.Filter == nil {
-		cfg.Filter = core.Always{}
+	if cfg.Policy == nil {
+		cfg.Policy = cfg.Filter
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = core.Always{}
+	}
+	cfg.Filter = cfg.Policy
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 25000
 	}
@@ -104,7 +113,7 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	cfg.Policy = cfg.Policy.withDefaults()
+	cfg.Promotion = cfg.Promotion.withDefaults()
 	return cfg, nil
 }
 

@@ -34,8 +34,8 @@ func compileWorkload(t *testing.T, name string) (*bytecode.Module, *ir.Program) 
 	return mod, prog
 }
 
-func TestPolicyCostBenefit(t *testing.T) {
-	p := Policy{
+func TestPromotionCostBenefit(t *testing.T) {
+	p := Promotion{
 		SpeedupEstimate:       0.10,
 		CompileCyclesPerInstr: 20,
 		FutureWeight:          1,
@@ -58,14 +58,14 @@ func TestPolicyCostBenefit(t *testing.T) {
 	}
 }
 
-func TestPolicyDefaults(t *testing.T) {
-	p := Policy{}.withDefaults()
-	if !reflect.DeepEqual(p, DefaultPolicy()) {
-		t.Errorf("zero policy did not default: %+v", p)
+func TestPromotionDefaults(t *testing.T) {
+	p := Promotion{}.withDefaults()
+	if !reflect.DeepEqual(p, DefaultPromotion()) {
+		t.Errorf("zero promotion policy did not default: %+v", p)
 	}
-	p = Policy{SpeedupEstimate: 0.5}.withDefaults()
-	if p.SpeedupEstimate != 0.5 || p.CompileCyclesPerInstr != DefaultPolicy().CompileCyclesPerInstr {
-		t.Errorf("partial policy mis-defaulted: %+v", p)
+	p = Promotion{SpeedupEstimate: 0.5}.withDefaults()
+	if p.SpeedupEstimate != 0.5 || p.CompileCyclesPerInstr != DefaultPromotion().CompileCyclesPerInstr {
+		t.Errorf("partial promotion policy mis-defaulted: %+v", p)
 	}
 }
 
@@ -177,7 +177,7 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 		SampleEvery: 2000,
 		Workers:     1,
 		QueueDepth:  1,
-		Policy:      Policy{MinEstCycles: 1}, // promote everything warm
+		Promotion:   Promotion{MinEstCycles: 1}, // promote everything warm
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -130,14 +130,14 @@ func (c *controller) considerPromotions(s *sim.Snapshot) {
 			continue
 		}
 		spent := c.estSpent(fi, fn, s.ExecCounts[fi])
-		if !c.cfg.Policy.ShouldPromote(spent, fn.NumInstrs()) {
+		if !c.cfg.Promotion.ShouldPromote(spent, fn.NumInstrs()) {
 			continue
 		}
 		select {
 		case c.jobs <- job{fn: fi, name: fn.Name, base: fn}:
 			c.tiers[fi] = tierQueued
 			c.metrics.Promotions++
-			c.metrics.CompileCyclesCharged += int64(c.cfg.Policy.CompileCycles(fn.NumInstrs()))
+			c.metrics.CompileCyclesCharged += int64(c.cfg.Promotion.CompileCycles(fn.NumInstrs()))
 		default:
 			c.metrics.QueueFull++
 		}
@@ -173,7 +173,7 @@ func (c *controller) worker() {
 	for jb := range c.jobs {
 		start := time.Now()
 		nf := c.recompile(jb)
-		stats := core.ApplyFilterFn(c.cfg.Model, nf, c.cfg.Filter)
+		stats := core.ApplyFilterFn(c.cfg.Model, nf, c.cfg.Policy)
 		c.done <- compiledFn{fn: jb.fn, newFn: nf, stats: stats, elapsed: time.Since(start)}
 	}
 }

@@ -1,10 +1,10 @@
 package adaptive
 
-// Policy is the controller's cost/benefit promotion model, the analogue
+// Promotion is the controller's cost/benefit promotion model, the analogue
 // of Jikes RVM's controller constants: a per-tier expected speedup and a
 // compilation-rate constant, both calibrated offline, with future
 // execution estimated from the profile.
-type Policy struct {
+type Promotion struct {
 	// SpeedupEstimate is the fraction of a function's cycles the
 	// optimized tier is expected to save (default 0.10, the order of the
 	// suite-wide LS improvement the harness measures).
@@ -22,9 +22,9 @@ type Policy struct {
 	MinEstCycles int64
 }
 
-// DefaultPolicy returns the stock promotion policy.
-func DefaultPolicy() Policy {
-	return Policy{
+// DefaultPromotion returns the stock promotion policy.
+func DefaultPromotion() Promotion {
+	return Promotion{
 		SpeedupEstimate:       0.10,
 		CompileCyclesPerInstr: 20,
 		FutureWeight:          10,
@@ -32,8 +32,8 @@ func DefaultPolicy() Policy {
 	}
 }
 
-func (p Policy) withDefaults() Policy {
-	d := DefaultPolicy()
+func (p Promotion) withDefaults() Promotion {
+	d := DefaultPromotion()
 	if p.SpeedupEstimate <= 0 {
 		p.SpeedupEstimate = d.SpeedupEstimate
 	}
@@ -52,7 +52,7 @@ func (p Policy) withDefaults() Policy {
 // ShouldPromote decides whether a function whose profile-estimated spent
 // cycles are estSpent, with numInstrs instructions, is worth promoting:
 // expected future cycles saved must exceed the modelled compile cost.
-func (p Policy) ShouldPromote(estSpent int64, numInstrs int) bool {
+func (p Promotion) ShouldPromote(estSpent int64, numInstrs int) bool {
 	if estSpent < p.MinEstCycles {
 		return false
 	}
@@ -62,6 +62,6 @@ func (p Policy) ShouldPromote(estSpent int64, numInstrs int) bool {
 
 // CompileCycles is the modelled cost (in simulated cycles) of running
 // the optimizing tier over a function of numInstrs instructions.
-func (p Policy) CompileCycles(numInstrs int) float64 {
+func (p Promotion) CompileCycles(numInstrs int) float64 {
 	return p.CompileCyclesPerInstr * float64(numInstrs)
 }

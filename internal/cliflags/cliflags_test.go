@@ -1,0 +1,71 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schedfilter/internal/machine"
+	"schedfilter/internal/policy"
+)
+
+func TestFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	target := Target(fs, "")
+	jobs := Jobs(fs, "")
+	spec := Policy(fs, "", "")
+	if err := fs.Parse([]string{"-target", "wide4", "-j", "3", "-policy", "size:5"}); err != nil {
+		t.Fatal(err)
+	}
+	if *target != "wide4" || *jobs != 3 || *spec != "size:5" {
+		t.Errorf("parsed %q/%d/%q", *target, *jobs, *spec)
+	}
+
+	fs = flag.NewFlagSet("y", flag.ContinueOnError)
+	target = Target(fs, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *target != machine.DefaultTargetName {
+		t.Errorf("default target %q, want %q", *target, machine.DefaultTargetName)
+	}
+}
+
+func TestResolvePolicyEmptyMeansUnset(t *testing.T) {
+	f, err := ResolvePolicy("  ", "mpc7410")
+	if err != nil || f != nil {
+		t.Errorf("blank spec should resolve to (nil, nil), got (%v, %v)", f, err)
+	}
+}
+
+func TestResolvePolicySpec(t *testing.T) {
+	f, err := ResolvePolicy("portfolio:size:5+cost:10", "wide4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := policy.ID(f); got != "portfolio[size>=5+cost>=10@wide4]" {
+		t.Errorf("ID = %q", got)
+	}
+	if _, err := ResolvePolicy("bogus:3", "mpc7410"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestResolvePolicyRulesFile(t *testing.T) {
+	rules := "(  6/ 4) list :- bbLen >= 4.\n(90/10) orig :- .\n"
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ResolvePolicy("rules:"+path, "mpc7410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(*policy.Induced); !ok {
+		t.Fatalf("rules: spec resolved to %T, want *policy.Induced", f)
+	}
+	if _, err := ResolvePolicy("rules:"+filepath.Join(t.TempDir(), "nope.txt"), "mpc7410"); err == nil {
+		t.Error("missing rules file should error")
+	}
+}

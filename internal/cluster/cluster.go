@@ -113,6 +113,12 @@ type Config struct {
 	// Jobs bounds batch and broadcast fan-out width; 0 selects
 	// GOMAXPROCS.
 	Jobs int
+	// DefaultPolicy, when non-empty, is a policy spec injected into
+	// compile-path requests that name neither a policy nor a filter, so
+	// a fleet fronted by one gateway serves a uniform default policy
+	// regardless of how each backend was booted. Requests that pin
+	// their own policy or filter pass through untouched.
+	DefaultPolicy string
 }
 
 func (c Config) withDefaults() Config {

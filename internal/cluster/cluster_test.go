@@ -159,7 +159,7 @@ func TestRoutingDeterministic(t *testing.T) {
 	hit := map[string]bool{}
 	for i := 0; i < 12; i++ {
 		src := testProgram(i)
-		want := tc.gw.Preference(RoutingKey("", src, ""))[0]
+		want := tc.gw.Preference(RoutingKey("", src, "", "LS"))[0]
 		hit[want] = true
 		for round := 0; round < 2; round++ {
 			code, node := scheduleVia(t, tc.gwts.URL, server.ScheduleRequest{
@@ -569,5 +569,49 @@ func TestNewRejectsDuplicateNames(t *testing.T) {
 	}
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty member set accepted")
+	}
+}
+
+// A gateway-wide default policy rewrites requests that pin nothing;
+// requests that pin their own policy or filter pass through untouched.
+func TestDefaultPolicyInjection(t *testing.T) {
+	tc := newTestCluster(t, 2, false, func(c *Config) { c.DefaultPolicy = "never" })
+
+	post := func(req server.ScheduleRequest) server.ScheduleResponse {
+		t.Helper()
+		status, body := postVia(t, tc.gwts.URL, "/v1/schedule", req)
+		if status != http.StatusOK {
+			t.Fatalf("schedule: HTTP %d: %s", status, body)
+		}
+		var resp server.ScheduleResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	unpinned := post(server.ScheduleRequest{
+		ProgramInput: server.ProgramInput{Source: testProgram(0)},
+	})
+	if unpinned.PolicyID != "NS" {
+		t.Errorf("unpinned request should serve the gateway default: policy %q id %q, want id NS",
+			unpinned.Policy, unpinned.PolicyID)
+	}
+
+	pinned := post(server.ScheduleRequest{
+		ProgramInput: server.ProgramInput{Source: testProgram(0), Policy: "always"},
+	})
+	if pinned.PolicyID != "LS" {
+		t.Errorf("pinned policy should pass through: policy %q id %q, want id LS",
+			pinned.Policy, pinned.PolicyID)
+	}
+
+	filtered := post(server.ScheduleRequest{
+		ProgramInput: server.ProgramInput{Source: testProgram(0)},
+		FilterSpec:   server.FilterSpec{Filter: "size:7"},
+	})
+	if filtered.PolicyID != "size>=7" {
+		t.Errorf("pinned filter should pass through: policy %q id %q, want id size>=7",
+			filtered.Policy, filtered.PolicyID)
 	}
 }

@@ -75,7 +75,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.ring = newRing(g.order, cfg.Replicas)
 	g.metrics = newGwMetrics(g.order,
 		"compile", "schedule", "predict", "execute",
-		"batch", "cluster", "filters", "retrain", "activate", "rollback")
+		"batch", "cluster", "filters", "policies", "retrain", "activate", "rollback")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", g.proxy("compile"))
@@ -85,6 +85,7 @@ func New(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("POST /v1/batch", g.handleBatch)
 	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
 	mux.HandleFunc("GET /v1/filters", g.handleFilters)
+	mux.HandleFunc("GET /v1/policies", g.handlePolicies)
 	mux.HandleFunc("POST /v1/filters/{version}/activate", g.handleActivate)
 	mux.HandleFunc("POST /v1/filters/rollback", g.handleRollback)
 	mux.HandleFunc("POST /v1/retrain", g.handleRetrain)
@@ -109,13 +110,18 @@ func (g *Gateway) Close() {
 }
 
 // RoutingKey derives a request's routing identity from its program
-// content: the machine target plus the program text (inline source or
-// workload name). It is a pre-compile proxy for the scheduled-block
-// fingerprint — equal request content always hashes to the same member,
-// so repeat compilations of a program land where its blocks are cached,
-// without the gateway ever compiling anything.
-func RoutingKey(target, source, workload string) string {
-	return target + "\x00" + source + "\x00" + workload
+// content: the machine target, the program text (inline source or
+// workload name), and the request's policy selector. It is a
+// pre-compile proxy for the scheduled-block fingerprint — equal request
+// content always hashes to the same member, so repeat compilations of a
+// program land where its blocks are cached, without the gateway ever
+// compiling anything. Policy identity is part of the key because the
+// scheduled-block cache keys on it downstream: requests for the same
+// program under different policies populate different cache entries, so
+// spreading them across members costs nothing and keeps per-policy
+// working sets co-located.
+func RoutingKey(target, source, workload, policySpec string) string {
+	return target + "\x00" + source + "\x00" + workload + "\x00" + policySpec
 }
 
 // Preference returns the members (names, config identity) in the key's
@@ -162,12 +168,30 @@ func (g *Gateway) route(ctx context.Context, path string, body []byte) proxyResu
 		Source   string `json:"source"`
 		Workload string `json:"workload"`
 		Target   string `json:"target"`
+		Policy   string `json:"policy"`
+		Filter   string `json:"filter"`
 	}
 	if err := json.Unmarshal(body, &pin); err != nil {
 		return proxyResult{status: http.StatusBadRequest,
 			body: mustJSON(server.ErrorResponse{Error: "bad request: " + err.Error()})}
 	}
-	prefs := g.healthyPrefs(RoutingKey(pin.Target, pin.Source, pin.Workload))
+	// Policy wins over the historical filter selector, mirroring the
+	// backend's resolution order; both empty means the backend default —
+	// or the gateway's, when one is configured.
+	spec := pin.Policy
+	if spec == "" {
+		spec = pin.Filter
+	}
+	if spec == "" && g.cfg.DefaultPolicy != "" {
+		spec = g.cfg.DefaultPolicy
+		injected, err := injectPolicy(body, spec)
+		if err != nil {
+			return proxyResult{status: http.StatusBadRequest,
+				body: mustJSON(server.ErrorResponse{Error: "bad request: " + err.Error()})}
+		}
+		body = injected
+	}
+	prefs := g.healthyPrefs(RoutingKey(pin.Target, pin.Source, pin.Workload, spec))
 	if len(prefs) == 0 {
 		g.metrics.noHealthy.Add(1)
 		return proxyResult{status: http.StatusServiceUnavailable,
@@ -178,6 +202,22 @@ func (g *Gateway) route(ctx context.Context, path string, body []byte) proxyResu
 		g.metrics.failovers.Add(1)
 	}
 	return res
+}
+
+// injectPolicy re-encodes the request body with the gateway's default
+// policy set. It preserves every other field verbatim (unknown ones
+// included) by round-tripping through a raw-message map — the only
+// compile-path requests that reach it are the ones that pinned nothing.
+func injectPolicy(body []byte, spec string) ([]byte, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		return nil, err
+	}
+	if fields == nil {
+		fields = make(map[string]json.RawMessage, 1)
+	}
+	fields["policy"] = mustJSON(spec)
+	return json.Marshal(fields)
 }
 
 // forward runs the retry/hedge loop over the preference order:
@@ -486,6 +526,16 @@ func (g *Gateway) handleFilters(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	st := g.metrics.endpoint("filters")
 	status, resp := g.broadcast("filters", "/v1/filters", nil, true)
+	g.replyJSON(w, st, start, status, resp)
+}
+
+// handlePolicies fans GET /v1/policies out to every healthy member and
+// returns the per-node policy surfaces (registered kinds plus the active
+// policy per target) side by side.
+func (g *Gateway) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	st := g.metrics.endpoint("policies")
+	status, resp := g.broadcast("policies", "/v1/policies", nil, true)
 	g.replyJSON(w, st, start, status, resp)
 }
 

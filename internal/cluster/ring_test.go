@@ -8,7 +8,7 @@ import (
 func keys(n int) []string {
 	out := make([]string, n)
 	for i := range out {
-		out[i] = RoutingKey("", fmt.Sprintf("func f%d() int { return %d; }", i, i), "")
+		out[i] = RoutingKey("", fmt.Sprintf("func f%d() int { return %d; }", i, i), "", "")
 	}
 	return out
 }

@@ -89,7 +89,7 @@ func applyFnBlocks(m *machine.Model, fn *ir.Fn, f Filter, c *codecache.Cache, s 
 		}
 		if !always {
 			v := features.ExtractBlock(b)
-			if !f.ShouldSchedule(v) {
+			if schedule, _ := f.Decide(v); !schedule {
 				st.NotScheduled++
 				continue
 			}
@@ -119,7 +119,8 @@ func Decide(p *ir.Program, f Filter) []bool {
 	out := make([]bool, 0, p.NumBlocks())
 	for _, fn := range p.Fns {
 		for _, b := range fn.Blocks {
-			out = append(out, f.ShouldSchedule(features.ExtractBlock(b)))
+			schedule, _ := f.Decide(features.ExtractBlock(b))
+			out = append(out, schedule)
 		}
 	}
 	return out

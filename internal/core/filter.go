@@ -1,100 +1,49 @@
-// Package core implements the paper's primary contribution: filters that
-// decide, per basic block, whether running the list scheduler is worth it,
-// and the scheduling protocols (NS, LS, and filtered L/N) that the
+// Package core implements the paper's primary contribution: deciding,
+// per basic block, whether running the list scheduler is worth it, and
+// the scheduling protocols (NS, LS, and filtered L/N) that the
 // evaluation compares.
 //
-// A filter consumes only the cheap single-pass features of
-// internal/features; the induced filter evaluates a Ripper rule set over
-// them. Applying a protocol to a compiled program times the whole
-// scheduling phase — including feature extraction and filter evaluation,
-// as the paper requires ("the time to apply the filter was included in the
-// cost we attribute to scheduling").
+// The decision procedure itself lives in internal/policy as the Policy
+// interface — this package's Filter is an alias for it, as are the
+// concrete deciders (Always, Never, SizeThreshold, Induced), so the
+// historical core.* names keep working everywhere while the system is
+// written against the pluggable abstraction. A policy consumes only the
+// cheap single-pass features of internal/features. Applying a protocol
+// to a compiled program times the whole scheduling phase — including
+// feature extraction and policy evaluation, as the paper requires ("the
+// time to apply the filter was included in the cost we attribute to
+// scheduling").
 package core
 
 import (
-	"fmt"
-
-	"schedfilter/internal/features"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/ripper"
 )
 
-// Filter decides whether a block (summarized by its feature vector) should
-// be list-scheduled.
-type Filter interface {
-	// Name identifies the filter in reports.
-	Name() string
-	// ShouldSchedule reports whether the block is predicted to benefit
-	// from list scheduling.
-	ShouldSchedule(v features.Vector) bool
-}
+// Filter is the scheduling decision procedure; an alias for
+// policy.Policy (Name, Decide, Provenance).
+type Filter = policy.Policy
 
 // Always is the LS protocol: schedule every block.
-type Always struct{}
-
-// Name implements Filter.
-func (Always) Name() string { return "LS" }
-
-// ShouldSchedule implements Filter.
-func (Always) ShouldSchedule(features.Vector) bool { return true }
+type Always = policy.Always
 
 // Never is the NS protocol: schedule nothing.
-type Never struct{}
+type Never = policy.Never
 
-// Name implements Filter.
-func (Never) Name() string { return "NS" }
+// SizeThreshold schedules blocks of at least MinLen instructions.
+type SizeThreshold = policy.SizeThreshold
 
-// ShouldSchedule implements Filter.
-func (Never) ShouldSchedule(features.Vector) bool { return false }
-
-// SizeThreshold is the obvious hand-written baseline: schedule blocks of
-// at least MinLen instructions. The paper had no pre-existing hand-coded
-// heuristic; this one exists for ablation comparisons against the induced
-// filter.
-type SizeThreshold struct {
-	MinLen int
-}
-
-// Name implements Filter.
-func (f SizeThreshold) Name() string { return fmt.Sprintf("size>=%d", f.MinLen) }
-
-// ShouldSchedule implements Filter.
-func (f SizeThreshold) ShouldSchedule(v features.Vector) bool {
-	return v.BBLen() >= f.MinLen
-}
-
-// Induced is the paper's L/N filter: a Ripper rule set over block features
-// choosing between list scheduling ("list") and not scheduling ("orig").
-type Induced struct {
-	Rules *ripper.RuleSet
-	// Label identifies the filter (e.g. "L/N t=20") in reports.
-	Label string
-	// Target names the machine target the filter's labels were computed
-	// under (e.g. "mpc7410"). Features are target-independent, so a
-	// filter still evaluates under any machine — Target records which
-	// cost model taught it, for mismatch warnings and the cross-target
-	// transfer experiment. Empty means unknown (pre-registry model
-	// files).
-	Target string
-}
+// Induced is the paper's L/N filter: a Ripper rule set over block
+// features.
+type Induced = policy.Induced
 
 // NewInduced wraps a rule set as a filter with no target provenance.
 func NewInduced(rs *ripper.RuleSet, label string) *Induced {
-	return NewInducedFor(rs, label, "")
+	return policy.NewInduced(rs, label)
 }
 
 // NewInducedFor wraps a rule set as a filter trained for the named
 // machine target.
 func NewInducedFor(rs *ripper.RuleSet, label, target string) *Induced {
-	if label == "" {
-		label = "L/N"
-	}
-	return &Induced{Rules: rs, Label: label, Target: target}
-}
-
-// Name implements Filter.
-func (f *Induced) Name() string { return f.Label }
-
-// ShouldSchedule implements Filter.
-func (f *Induced) ShouldSchedule(v features.Vector) bool {
-	return f.Rules.Predict(v.Slice())
+	return policy.NewInducedFor(rs, label, target)
 }

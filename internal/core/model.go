@@ -1,77 +1,19 @@
 package core
 
-import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"strings"
-
-	"schedfilter/internal/features"
-	"schedfilter/internal/ripper"
-)
-
-// filterHeader marks the label line of persisted model text;
-// targetHeader records the machine target the filter was trained for.
-const (
-	filterHeader = "# filter:"
-	targetHeader = "# target:"
-)
-
-// RuleHash is the induced filter's content identity: a short hex digest
-// of the full-precision rule text. Two filters with equal hashes make
-// identical decisions on every block; two retrained versions that share
-// a label never share a hash unless their rules are the same.
-func (f *Induced) RuleHash() string {
-	sum := sha256.Sum256([]byte(f.Rules.Format()))
-	return hex.EncodeToString(sum[:8])
-}
+import "schedfilter/internal/policy"
 
 // FilterID returns a stable content identity for any filter, for use in
-// cache fingerprints: fixed protocols are identified by name (their
-// behaviour IS their name), induced filters by label plus rule hash —
-// so a hot-swapped filter version with the same label as its
-// predecessor still fingerprints differently, and cached per-program
-// decisions can never be served stale across a swap.
-func FilterID(f Filter) string {
-	if ind, ok := f.(*Induced); ok {
-		return ind.Label + "@" + ind.RuleHash()
-	}
-	return f.Name()
-}
+// cache fingerprints; an alias for policy.ID. Fixed protocols are
+// identified by name (their behaviour IS their name), induced filters
+// by label plus rule hash — so a hot-swapped filter version with the
+// same label as its predecessor still fingerprints differently, and
+// cached per-program decisions can never be served stale across a swap.
+func FilterID(f Filter) string { return policy.ID(f) }
 
-// FormatInduced renders an induced filter as persistent model text: a
-// "# filter: <label>" header, a "# target: <name>" header when the
-// filter records its training target, plus the rule set in the
-// round-trippable full-precision format. ParseInduced inverts it
-// exactly — the provenance the online registry stores with every
-// version round-trips through a file and back.
-func FormatInduced(f *Induced) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s\n", filterHeader, f.Label)
-	if f.Target != "" {
-		fmt.Fprintf(&b, "%s %s\n", targetHeader, f.Target)
-	}
-	b.WriteString(f.Rules.Format())
-	return b.String()
-}
+// FormatInduced renders an induced filter as persistent model text;
+// see policy.FormatInduced.
+func FormatInduced(f *Induced) string { return policy.FormatInduced(f) }
 
-// ParseInduced reads model text produced by FormatInduced (or any rule
-// text in the Figure-4 format; the label and target headers are
-// optional). Attribute names resolve against the Table-1 feature names.
-func ParseInduced(text string) (*Induced, error) {
-	label, target := "", ""
-	for _, line := range strings.Split(text, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(trimmed, filterHeader); ok && label == "" {
-			label = strings.TrimSpace(rest)
-		}
-		if rest, ok := strings.CutPrefix(trimmed, targetHeader); ok && target == "" {
-			target = strings.TrimSpace(rest)
-		}
-	}
-	rs, err := ripper.Parse(text, features.Names[:])
-	if err != nil {
-		return nil, err
-	}
-	return NewInducedFor(rs, label, target), nil
-}
+// ParseInduced reads model text produced by FormatInduced; see
+// policy.ParseInduced.
+func ParseInduced(text string) (*Induced, error) { return policy.ParseInduced(text) }

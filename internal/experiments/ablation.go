@@ -7,6 +7,7 @@ import (
 	"schedfilter/internal/core"
 	"schedfilter/internal/features"
 	"schedfilter/internal/par"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/training"
 	"schedfilter/internal/workloads"
 )
@@ -47,10 +48,14 @@ type oracleFilter struct {
 
 func (o *oracleFilter) Name() string { return "oracle" }
 
-func (o *oracleFilter) ShouldSchedule(features.Vector) bool {
+func (o *oracleFilter) Decide(features.Vector) (bool, float64) {
 	d := o.decisions[o.next%len(o.decisions)]
 	o.next++
-	return d
+	return d, 1
+}
+
+func (o *oracleFilter) Provenance() policy.Provenance {
+	return policy.Provenance{Kind: "oracle", Detail: "replays true labels; not realizable"}
 }
 
 func newOracle(bd *training.BenchData) *oracleFilter {

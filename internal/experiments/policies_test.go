@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCrossPoliciesMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects both suites per target")
+	}
+	names := []string{"mpc7410", "test-narrow"}
+	specs := []string{"ripper", "always", "never", "size:5", "cost:10"}
+	res, err := CrossPolicies(Config{Jobs: 2}, names, specs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Targets, names) || !reflect.DeepEqual(res.Policies, specs) || res.Threshold != 20 {
+		t.Fatalf("bad header: %+v", res)
+	}
+	if len(res.Cells) != len(specs) {
+		t.Fatalf("want %d rows, got %d", len(specs), len(res.Cells))
+	}
+	var lsRow, nsRow []PolicyCell
+	for pi, spec := range specs {
+		row := res.Cells[pi]
+		if len(row) != len(names) {
+			t.Fatalf("row %q has %d cells, want %d", spec, len(row), len(names))
+		}
+		switch spec {
+		case "always":
+			lsRow = row
+		case "never":
+			nsRow = row
+		}
+		for ti, c := range row {
+			// Ratios are percentages of NS; per block a policy picks the
+			// NS or LS estimate, so every ratio lies in (0, 100].
+			if c.Ratio <= 0 || c.Ratio > 100.000001 {
+				t.Fatalf("cell [%q][%d] ratio %v outside (0, 100]", spec, ti, c.Ratio)
+			}
+			if c.EffortVsLS < 0 || c.EffortVsLS > 100.000001 {
+				t.Fatalf("cell [%q][%d] effort %v outside [0, 100]", spec, ti, c.EffortVsLS)
+			}
+			if c.Name == "" || c.ID == "" {
+				t.Fatalf("cell [%q][%d] lacks identity: %+v", spec, ti, c)
+			}
+		}
+	}
+	for ti := range names {
+		// LS is both bounds' anchor: full effort, and no policy beats its
+		// predicted time (per block there is nothing better to pick).
+		if lsRow[ti].EffortVsLS != 100 {
+			t.Fatalf("LS effort %v != 100", lsRow[ti].EffortVsLS)
+		}
+		if nsRow[ti].EffortVsLS != 0 || nsRow[ti].LSDecisions != 0 {
+			t.Fatalf("NS did work: %+v", nsRow[ti])
+		}
+		if nsRow[ti].Ratio < 100-1e-9 || nsRow[ti].Ratio > 100+1e-9 {
+			t.Fatalf("NS ratio %v != 100", nsRow[ti].Ratio)
+		}
+		for pi := range specs {
+			if res.Cells[pi][ti].Ratio < lsRow[ti].Ratio-1e-9 {
+				t.Fatalf("row %q beats the LS bound: %v < %v", specs[pi], res.Cells[pi][ti].Ratio, lsRow[ti].Ratio)
+			}
+		}
+	}
+	// The ripper row's ID must embed the per-target rule hash — two
+	// targets' trained filters are distinct cache identities.
+	if !strings.Contains(res.Cells[0][0].ID, "@") {
+		t.Fatalf("ripper cell ID %q lacks a rule hash", res.Cells[0][0].ID)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCrossPoliciesBadInputs(t *testing.T) {
+	if _, err := CrossPolicies(Config{}, []string{"vax"}, []string{"always"}, 0); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := CrossPolicies(Config{}, []string{"test-narrow"}, []string{"nonesuch"}, 0); err == nil {
+		t.Fatal("unknown policy spec accepted")
+	}
+}

@@ -43,6 +43,9 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	// sleep pauses between attempts; time.Sleep outside tests, which
+	// substitute a recording clock so backoff is asserted, not awaited.
+	sleep func(time.Duration)
 }
 
 // Response is one exchange's outcome: the final attempt's status, headers
@@ -68,6 +71,7 @@ func New(base string, timeout time.Duration, retries int) *Client {
 		hc:      &http.Client{Timeout: timeout},
 		retries: retries,
 		backoff: DefaultBackoff,
+		sleep:   time.Sleep,
 	}
 }
 
@@ -109,7 +113,7 @@ func (c *Client) do(build func() (*http.Request, error)) (*Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			time.Sleep(BackoffDelay(c.backoff, attempt))
+			c.sleep(BackoffDelay(c.backoff, attempt))
 		}
 		req, err := build()
 		if err != nil {

@@ -2,8 +2,11 @@ package httpc
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -102,5 +105,207 @@ func TestBackoffDelayGrowsAndJitters(t *testing.T) {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, nominal/2, nominal*3/2)
 			}
 		}
+	}
+}
+
+// fakeClock substitutes the client's inter-attempt sleep: it records
+// every requested pause and returns immediately, so the retry loop's
+// timing behavior is asserted instead of awaited.
+type fakeClock struct {
+	mu     sync.Mutex
+	pauses []time.Duration
+}
+
+func (fc *fakeClock) sleep(d time.Duration) {
+	fc.mu.Lock()
+	fc.pauses = append(fc.pauses, d)
+	fc.mu.Unlock()
+}
+
+func (fc *fakeClock) snapshot() []time.Duration {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return append([]time.Duration(nil), fc.pauses...)
+}
+
+// flakyServer fails the first n requests with status, then answers
+// {"ok":1}. It is the shape the retry loop exists for: a node that is
+// briefly draining or overloaded and then recovers.
+func flakyServer(t *testing.T, n int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.WriteHeader(status)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// The retry loop sleeps exactly once per re-attempt, with delays that
+// follow the doubled-base-±50%-jitter schedule — verified through the
+// fake clock, so the test never actually waits.
+func TestBackoffScheduleThroughFakeClock(t *testing.T) {
+	ts, calls := flakyServer(t, 3, http.StatusTooManyRequests)
+	c := New(ts.URL, time.Second, 3)
+	fc := &fakeClock{}
+	c.sleep = fc.sleep
+
+	resp, err := c.Get("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.Status)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4", got)
+	}
+	pauses := fc.snapshot()
+	if len(pauses) != 3 {
+		t.Fatalf("slept %d times, want once per re-attempt (3): %v", len(pauses), pauses)
+	}
+	for i, d := range pauses {
+		nominal := DefaultBackoff << uint(i)
+		if d < nominal/2 || d > nominal+nominal/2 {
+			t.Errorf("re-attempt %d slept %v, want within [%v, %v]",
+				i+1, d, nominal/2, nominal*3/2)
+		}
+	}
+}
+
+// Success on the first attempt never touches the clock.
+func TestNoBackoffWithoutRetry(t *testing.T) {
+	ts, _ := flakyServer(t, 0, http.StatusServiceUnavailable)
+	c := New(ts.URL, time.Second, 3)
+	fc := &fakeClock{}
+	c.sleep = fc.sleep
+	if _, err := c.Get("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if pauses := fc.snapshot(); len(pauses) != 0 {
+		t.Fatalf("first-attempt success slept: %v", pauses)
+	}
+}
+
+// An attempt that exceeds the per-request timeout counts as a transient
+// transport failure: it is retried, and a healthy follow-up answer wins.
+func TestTimeoutIsRetried(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Hold the first attempt until its client gives up.
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := New(ts.URL, 50*time.Millisecond, 1)
+	fc := &fakeClock{}
+	c.sleep = fc.sleep
+	resp, err := c.PostJSON("/x", map[string]string{"a": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the retry", resp.Status)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want timed-out attempt + retry", got)
+	}
+	if len(fc.snapshot()) != 1 {
+		t.Fatalf("expected one backoff pause, got %v", fc.snapshot())
+	}
+}
+
+// When every attempt times out, the final error reports the attempt
+// count — the caller sees how much budget was spent, not just the last
+// transport error.
+func TestTimeoutBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 30*time.Millisecond, 2)
+	fc := &fakeClock{}
+	c.sleep = fc.sleep
+	_, err := c.Get("/x")
+	if err == nil {
+		t.Fatal("expected an error when every attempt times out")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error should count attempts: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// The POST body is replayed identically on every attempt — marshalled
+// once, not consumed by the failed try.
+func TestPostBodyReplayedAcrossRetries(t *testing.T) {
+	var bodies sync.Map
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		bodies.Store(n, string(b))
+		if n < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, time.Second, 3)
+	fc := &fakeClock{}
+	c.sleep = fc.sleep
+	if _, err := c.PostJSON("/x", map[string]string{"payload": "identical"}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := bodies.Load(int64(1))
+	for n := int64(2); n <= 3; n++ {
+		got, _ := bodies.Load(n)
+		if got != first {
+			t.Errorf("attempt %d body %q differs from first %q", n, got, first)
+		}
+	}
+	if first == "" {
+		t.Error("first attempt carried no body")
+	}
+}
+
+// Decode round-trips a 2xx JSON body and refuses non-2xx ones.
+func TestDecode(t *testing.T) {
+	ts, _ := flakyServer(t, 0, http.StatusOK)
+	c := New(ts.URL, time.Second, 0)
+	resp, err := c.Get("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := resp.Decode("/x", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != 1 {
+		t.Errorf("decoded %v", out)
+	}
+	bad := &Response{Status: http.StatusServiceUnavailable, Body: []byte(`{"error":"draining"}`)}
+	if err := bad.Decode("/x", &out); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("non-2xx Decode should surface the service error, got %v", err)
 	}
 }

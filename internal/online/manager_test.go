@@ -9,6 +9,7 @@ import (
 	"schedfilter/internal/blockgen"
 	"schedfilter/internal/core"
 	"schedfilter/internal/ir"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/training"
 )
@@ -233,7 +234,7 @@ func TestShadowGatePromotesImprovingCandidate(t *testing.T) {
 		t.Fatalf("improving candidate not promoted: %+v", rep)
 	}
 	f, v := m.ActiveFilter(testTarget)
-	if v != 2 || !f.ShouldSchedule(mkSample(mkKey(0, 0), 10, 100, 50).Feat) {
+	if v != 2 || !policy.Schedules(f, mkSample(mkKey(0, 0), 10, 100, 50).Feat) {
 		t.Fatalf("promotion did not hot-swap the serving filter (v%d)", v)
 	}
 	if m.Metrics().Promotions != 1 {

@@ -6,9 +6,10 @@ import (
 	"sync/atomic"
 
 	"schedfilter/internal/core"
+	"schedfilter/internal/policy"
 )
 
-// Version is one registered filter version for a target: the filter
+// Version is one registered policy version for a target: the policy
 // itself plus full provenance. Versions are immutable after registration
 // except for State, which tracks the version's life cycle.
 type Version struct {
@@ -17,6 +18,9 @@ type Version struct {
 	Version int `json:"version"`
 	// Label is the filter's display name (e.g. "online v3 t=20").
 	Label string `json:"label"`
+	// Kind is the policy's registry kind ("ripper" for retrained
+	// versions; whatever the boot policy is otherwise).
+	Kind string `json:"kind,omitempty"`
 	// Target names the machine target the filter serves.
 	Target string `json:"target"`
 	// State is one of "active", "standby", "rejected", "rolled-back".
@@ -78,13 +82,18 @@ func NewRegistry(target string, boot core.Filter) *Registry {
 }
 
 // Register adds a new version holding f, taking provenance fields from
-// meta (Version, Target, RuleHash, and the filter are filled in here).
-// The new version is NOT activated unless it is the very first.
+// meta (Version, Target, Kind, RuleHash, and the policy are filled in
+// here). The new version is NOT activated unless it is the very first.
 func (r *Registry) Register(f core.Filter, meta Version) *Version {
 	meta.filter = f
 	meta.Target = r.target
+	meta.Kind = f.Provenance().Kind
 	if ind, ok := f.(*core.Induced); ok {
 		meta.RuleHash = ind.RuleHash()
+	} else if id := policy.ID(f); id != f.Name() {
+		// Policies with a richer content identity (cost thresholds,
+		// portfolios) record it, so convergence comparisons stay exact.
+		meta.RuleHash = id
 	} else {
 		meta.RuleHash = f.Name()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"schedfilter/internal/core"
+	"schedfilter/internal/policy"
 )
 
 // Score is one filter's shadow evaluation over a holdout slice, along
@@ -39,7 +40,7 @@ func EvalFilter(f core.Filter, hold []*Sample) Score {
 		if w <= 0 {
 			w = 1
 		}
-		if f.ShouldSchedule(s.Feat) {
+		if policy.Schedules(f, s.Feat) {
 			sc.Scheduled++
 			sc.EstCycles += w * int64(s.CostLS)
 			sc.SchedCost += int64(s.Feat.BBLen())

@@ -1,0 +1,411 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"schedfilter/internal/features"
+	"schedfilter/internal/machine"
+	"schedfilter/internal/ripper"
+)
+
+// testRules builds a small induced rule set over the real feature names:
+// schedule big blocks, plus a low-confidence rule for mid-size blocks
+// with few instructions in category 0.
+func testRules() *ripper.RuleSet {
+	return &ripper.RuleSet{
+		Names:    features.Names[:],
+		PosLabel: "list",
+		NegLabel: "orig",
+		Rules: []ripper.Rule{
+			{Conds: []ripper.Condition{{Attr: 0, LE: false, Val: 10}}, TP: 80, FP: 20},
+			{Conds: []ripper.Condition{
+				{Attr: 0, LE: false, Val: 4},
+				{Attr: 1, LE: true, Val: 0.25},
+			}, TP: 6, FP: 4},
+		},
+		DefaultTP: 90,
+		DefaultFP: 10,
+	}
+}
+
+func vec(bbLen float64, fracs ...float64) features.Vector {
+	var v features.Vector
+	v[0] = bbLen
+	for i, f := range fracs {
+		v[i+1] = f
+	}
+	return v
+}
+
+// The cache-identity contract: ID must reproduce the historical
+// core.FilterID output byte-for-byte for every pre-policy filter type,
+// or every persisted cache fingerprint would silently invalidate.
+func TestIDHistoricalCompatibility(t *testing.T) {
+	ind := NewInduced(testRules(), "L/N t=20")
+	cases := []struct {
+		p    Policy
+		want string
+	}{
+		{Always{}, "LS"},
+		{Never{}, "NS"},
+		{SizeThreshold{MinLen: 5}, "size>=5"},
+		{ind, "L/N t=20@" + ind.RuleHash()},
+	}
+	for _, tc := range cases {
+		if got := ID(tc.p); got != tc.want {
+			t.Errorf("ID(%s) = %q, want %q", tc.p.Name(), got, tc.want)
+		}
+	}
+}
+
+// Richer policies must carry target identity in their ID: a cost
+// threshold's decisions depend on the target's latencies, so two
+// targets' cost:12 policies may disagree and must never share a
+// cache fingerprint.
+func TestIDRicherPolicies(t *testing.T) {
+	c, err := NewCostThreshold("wide4", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ID(c), "cost>=12@wide4"; got != want {
+		t.Errorf("cost ID = %q, want %q", got, want)
+	}
+	p, err := NewPortfolio(Always{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ID(p), "portfolio[LS+cost>=12@wide4]"; got != want {
+		t.Errorf("portfolio ID = %q, want %q", got, want)
+	}
+}
+
+// Two induced versions with the same label but different rules must
+// fingerprint differently (hot-swap staleness), and identical rules
+// must fingerprint identically regardless of label-independent headers.
+func TestIDDistinguishesRetrainedVersions(t *testing.T) {
+	a := NewInduced(testRules(), "online v2")
+	rules2 := testRules()
+	rules2.Rules[0].Conds[0].Val = 11
+	b := NewInduced(rules2, "online v2")
+	if ID(a) == ID(b) {
+		t.Fatalf("different rules, same ID %q", ID(a))
+	}
+	c := NewInducedFor(testRules(), "online v2", "wide4")
+	if ID(a) != ID(c) {
+		t.Fatalf("same rules, different IDs %q vs %q", ID(a), ID(c))
+	}
+}
+
+// Induced.Decide's boolean must be bit-identical to the historical
+// RuleSet.Predict path on arbitrary vectors — the refactor's zero
+// behavior-change guarantee.
+func TestInducedDecideMatchesPredict(t *testing.T) {
+	f := NewInduced(testRules(), "L/N")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var v features.Vector
+		v[0] = float64(rng.Intn(30))
+		for j := 1; j < features.Count; j++ {
+			v[j] = rng.Float64()
+		}
+		want := f.Rules.Predict(v.Slice())
+		got, conf := f.Decide(v)
+		if got != want {
+			t.Fatalf("vector %v: Decide=%v Predict=%v", v, got, want)
+		}
+		if got != f.ShouldSchedule(v) {
+			t.Fatalf("vector %v: Decide and ShouldSchedule disagree", v)
+		}
+		if conf < 0 || conf > 1 {
+			t.Fatalf("confidence %v out of [0,1]", conf)
+		}
+	}
+}
+
+// Confidence comes from the covering rule's Laplace-corrected training
+// accuracy; the default rule's counts apply when nothing covers.
+func TestInducedConfidence(t *testing.T) {
+	f := NewInduced(testRules(), "L/N")
+	// bbLen 12 is covered by rule 1 (TP 80, FP 20).
+	if _, conf := f.Decide(vec(12)); conf != laplace(80, 20) {
+		t.Errorf("rule-1 confidence = %v, want %v", conf, laplace(80, 20))
+	}
+	// bbLen 6 with low category-0 fraction hits rule 2 (TP 6, FP 4).
+	if _, conf := f.Decide(vec(6, 0.1)); conf != laplace(6, 4) {
+		t.Errorf("rule-2 confidence = %v, want %v", conf, laplace(6, 4))
+	}
+	// bbLen 2: no rule covers, default counts (90, 10).
+	sched, conf := f.Decide(vec(2, 0.9))
+	if sched {
+		t.Error("uncovered vector scheduled")
+	}
+	if conf != laplace(90, 10) {
+		t.Errorf("default confidence = %v, want %v", conf, laplace(90, 10))
+	}
+}
+
+// Adding the "# policy:" header must not change any filter's rule hash:
+// hashes are over rule text only, so pre-policy and post-policy model
+// files of the same rules share an identity.
+func TestRuleHashExcludesHeaders(t *testing.T) {
+	f := NewInducedFor(testRules(), "L/N t=20", "mpc7410")
+	text := FormatInduced(f)
+	for _, h := range []string{"# filter:", "# policy: ripper", "# target: mpc7410"} {
+		if !strings.Contains(text, h) {
+			t.Errorf("formatted model lacks %q header:\n%s", h, text)
+		}
+	}
+	back, err := ParseInduced(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != f.Label || back.Target != f.Target {
+		t.Errorf("round-trip lost provenance: %+v", back)
+	}
+	if back.RuleHash() != f.RuleHash() {
+		t.Errorf("round-trip changed hash %s -> %s", f.RuleHash(), back.RuleHash())
+	}
+	// A pre-policy file (no headers at all) parses and hashes the same.
+	bare, err := ParseInduced(f.Rules.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.RuleHash() != f.RuleHash() {
+		t.Errorf("headerless file changed hash %s -> %s", f.RuleHash(), bare.RuleHash())
+	}
+}
+
+func TestFileKind(t *testing.T) {
+	f := NewInduced(testRules(), "L/N")
+	if got := FileKind(FormatInduced(f)); got != KindRipper {
+		t.Errorf("FileKind = %q, want %q", got, KindRipper)
+	}
+	if got := FileKind(f.Rules.Format()); got != "" {
+		t.Errorf("FileKind of headerless text = %q, want empty", got)
+	}
+	if got := FileKind("# policy: cost\nwhatever"); got != "cost" {
+		t.Errorf("FileKind = %q, want cost", got)
+	}
+}
+
+// FromSpec/SpecOf must round-trip every spec-representable kind, with
+// the historical LS/NS spellings accepted as aliases.
+func TestSpecRoundTrip(t *testing.T) {
+	canonical := []string{
+		"always",
+		"never",
+		"size:5",
+		"cost:12",
+		"portfolio:always+size:3",
+		"portfolio:never+cost:8+size:2",
+	}
+	for _, spec := range canonical {
+		p, err := FromSpec(spec, "mpc7410")
+		if err != nil {
+			t.Errorf("FromSpec(%q): %v", spec, err)
+			continue
+		}
+		if got := SpecOf(p); got != spec {
+			t.Errorf("SpecOf(FromSpec(%q)) = %q", spec, got)
+		}
+	}
+	aliases := map[string]string{
+		"LS": "always", "ls": "always",
+		"NS": "never", "ns": "never",
+		"default": "always",
+		"Size:4":  "size:4",
+	}
+	for in, want := range aliases {
+		p, err := FromSpec(in, "")
+		if err != nil {
+			t.Errorf("FromSpec(%q): %v", in, err)
+			continue
+		}
+		if got := SpecOf(p); got != want {
+			t.Errorf("FromSpec(%q) -> %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"nonesuch",
+		"size:x",
+		"size:-1",
+		"cost:many",
+		"always:arg",
+		"portfolio:",
+		"portfolio:always+nonesuch",
+		"ripper", // not spec-constructible
+		"cost:5:extra",
+	}
+	for _, spec := range bad {
+		if p, err := FromSpec(spec, ""); err == nil {
+			t.Errorf("FromSpec(%q) accepted: %v", spec, p.Name())
+		}
+	}
+	// Unknown kinds name the known ones for discoverability.
+	_, err := FromSpec("nonesuch", "")
+	if err == nil || !strings.Contains(err.Error(), "ripper") {
+		t.Errorf("unknown-kind error should list known kinds, got %v", err)
+	}
+}
+
+// SpecOf declines non-representable policies (induced rules, portfolios
+// containing them) instead of inventing a lossy spec.
+func TestSpecOfNotRepresentable(t *testing.T) {
+	ind := NewInduced(testRules(), "L/N")
+	if got := SpecOf(ind); got != "" {
+		t.Errorf("SpecOf(induced) = %q, want empty", got)
+	}
+	p, err := NewPortfolio(Always{}, ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SpecOf(p); got != "" {
+		t.Errorf("SpecOf(portfolio with induced member) = %q, want empty", got)
+	}
+}
+
+// Format/Parse round-trips both serialized forms: model text for
+// induced filters, spec docs for everything representable.
+func TestFormatParseRoundTrip(t *testing.T) {
+	ind := NewInducedFor(testRules(), "L/N t=20", "wide4")
+	cost, err := NewCostThreshold("wide4", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{ind, cost, Always{}, SizeThreshold{MinLen: 3}} {
+		text, err := Format(p)
+		if err != nil {
+			t.Fatalf("Format(%s): %v", p.Name(), err)
+		}
+		back, err := Parse(text, "wide4")
+		if err != nil {
+			t.Fatalf("Parse(Format(%s)): %v", p.Name(), err)
+		}
+		if ID(back) != ID(p) {
+			t.Errorf("round-trip changed identity %q -> %q", ID(p), ID(back))
+		}
+	}
+	// A portfolio containing an induced member has no serial form.
+	mixed, err := NewPortfolio(Always{}, ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(mixed); err == nil {
+		t.Error("Format(portfolio with induced member) should fail")
+	}
+}
+
+func TestPortfolioDecide(t *testing.T) {
+	// size>=10 and never: on a tiny block both say no; on a huge block
+	// size wins with high confidence over never's constant 1? No —
+	// never's confidence is 1.0, so it wins except when size is at
+	// least as sure. Use two thresholds instead for a real arbitration.
+	lo := SizeThreshold{MinLen: 2}
+	hi := SizeThreshold{MinLen: 100}
+	p, err := NewPortfolio(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bbLen 99: lo is 97 past its threshold (conf≈0.99, schedule), hi is
+	// 1 short (conf=0.5, don't). lo wins.
+	if sched, _ := p.Decide(vec(99)); !sched {
+		t.Error("expected the confident member to win")
+	}
+	// bbLen 3: lo barely schedules (d=1 -> 0.5), hi confidently doesn't
+	// (d=97 -> ≈0.99). hi wins.
+	if sched, _ := p.Decide(vec(3)); sched {
+		t.Error("expected the confident refuser to win")
+	}
+	// Ties break to the earliest member: two members at equal distance
+	// from their thresholds disagree; the first wins.
+	a := SizeThreshold{MinLen: 4} // bbLen 5: schedule, d=1
+	b := SizeThreshold{MinLen: 6} // bbLen 5: don't, d=1
+	p2, err := NewPortfolio(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched, _ := p2.Decide(vec(5)); !sched {
+		t.Error("tie should break to the earliest member")
+	}
+	if _, err := NewPortfolio(); err == nil {
+		t.Error("empty portfolio should be rejected")
+	}
+}
+
+func TestCostThreshold(t *testing.T) {
+	c, err := NewCostThreshold("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target != machine.DefaultTargetName {
+		t.Errorf("empty target resolved to %q, want %q", c.Target, machine.DefaultTargetName)
+	}
+	if _, err := NewCostThreshold("no-such-machine", 8); err == nil {
+		t.Error("unknown target should error")
+	}
+	// More instructions of the same mix never cost less.
+	prev := -1.0
+	for n := 1; n <= 32; n *= 2 {
+		est := c.EstCycles(vec(float64(n), 0.5))
+		if est < prev {
+			t.Fatalf("EstCycles not monotone in bbLen: %v after %v", est, prev)
+		}
+		prev = est
+	}
+	// A block heavy in a slow category costs more than an even split of
+	// cheap work at equal length (mpc7410 float div is slow; weight>1).
+	slow := c.EstCycles(vec(16, 0, 0, 0, 0, 0, 1))
+	cheap := c.EstCycles(vec(16, 1))
+	if slow <= cheap {
+		t.Skipf("category weights too flat to order (slow=%v cheap=%v)", slow, cheap)
+	}
+	// Decide is the threshold test over EstCycles.
+	v := vec(40, 0.5)
+	sched, conf := c.Decide(v)
+	if want := c.EstCycles(v) >= float64(c.MinCycles); sched != want {
+		t.Errorf("Decide=%v, EstCycles comparison says %v", sched, want)
+	}
+	if conf < 0 || conf > 1 {
+		t.Errorf("confidence %v out of range", conf)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if err := Register(Kind{Name: "", Parse: func(string, string) (Policy, error) { return Always{}, nil }}); err == nil {
+		t.Error("empty kind name should be rejected")
+	}
+	if err := Register(Kind{Name: "x-no-parse"}); err == nil {
+		t.Error("nil Parse should be rejected")
+	}
+	if err := Register(Kind{Name: KindAlways, Parse: func(string, string) (Policy, error) { return Always{}, nil }}); err == nil {
+		t.Error("duplicate kind should be rejected")
+	}
+	ks := Kinds()
+	if len(ks) < 6 {
+		t.Fatalf("want at least the 6 builtin kinds, got %d", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		seen[k.Name] = true
+	}
+	for _, want := range []string{KindAlways, KindNever, KindSize, KindCost, KindRipper, KindPortfolio} {
+		if !seen[want] {
+			t.Errorf("builtin kind %q not registered", want)
+		}
+	}
+	if _, err := KindByName("nope"); err == nil {
+		t.Error("unknown kind lookup should error")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if !Schedules(Always{}, vec(1)) || Schedules(Never{}, vec(100)) {
+		t.Error("Schedules projection broken")
+	}
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"schedfilter/internal/features"
+)
+
+// Portfolio arbitrates between member policies by confidence: every
+// member decides, and the most confident decision wins (ties break to
+// the earliest member, so ordering is part of the portfolio's
+// identity). This is the algorithm-portfolio shape — run several
+// heuristics, act on the one that is surest — collapsed to the
+// degenerate-but-useful per-block form.
+type Portfolio struct {
+	Members []Policy
+}
+
+// NewPortfolio builds a portfolio; it needs at least one member.
+func NewPortfolio(members ...Policy) (*Portfolio, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("policy: portfolio needs at least one member")
+	}
+	return &Portfolio{Members: members}, nil
+}
+
+// Name implements Policy.
+func (f *Portfolio) Name() string {
+	names := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		names[i] = m.Name()
+	}
+	return "portfolio(" + strings.Join(names, ",") + ")"
+}
+
+// PolicyID combines the members' identities, so two portfolios over
+// different filter versions never share a cache fingerprint.
+func (f *Portfolio) PolicyID() string {
+	ids := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		ids[i] = ID(m)
+	}
+	return "portfolio[" + strings.Join(ids, "+") + "]"
+}
+
+// Decide implements Policy: the decision of the highest-confidence
+// member, with that member's confidence.
+func (f *Portfolio) Decide(v features.Vector) (bool, float64) {
+	bestSched, bestConf := f.Members[0].Decide(v)
+	for i := 1; i < len(f.Members); i++ {
+		s, c := f.Members[i].Decide(v)
+		if c > bestConf {
+			bestSched, bestConf = s, c
+		}
+	}
+	return bestSched, bestConf
+}
+
+// ShouldSchedule is the historical filter-interface form.
+func (f *Portfolio) ShouldSchedule(v features.Vector) bool {
+	s, _ := f.Decide(v)
+	return s
+}
+
+// Provenance implements Policy. Target is the first member target seen,
+// as the portfolio itself is target-agnostic.
+func (f *Portfolio) Provenance() Provenance {
+	target := ""
+	kinds := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		pv := m.Provenance()
+		kinds[i] = pv.Kind
+		if target == "" {
+			target = pv.Target
+		}
+	}
+	return Provenance{
+		Kind:   KindPortfolio,
+		Target: target,
+		Detail: "members: " + strings.Join(kinds, ","),
+	}
+}

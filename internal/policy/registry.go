@@ -1,0 +1,239 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Builtin kind names. Kinds are the registry's unit of policy identity:
+// a kind knows how to parse its spec argument into a concrete Policy.
+const (
+	KindAlways    = "always"
+	KindNever     = "never"
+	KindSize      = "size"
+	KindCost      = "cost"
+	KindRipper    = "ripper"
+	KindPortfolio = "portfolio"
+)
+
+// Kind binds a stable, lowercase name to a policy constructor, the way
+// internal/machine's registry binds target names to timing models. New
+// decision procedures register a Kind and immediately work everywhere a
+// -policy flag or a ProgramInput.Policy spec is accepted.
+type Kind struct {
+	// Name is the registry key (e.g. "cost"); lowercase by convention.
+	Name string
+	// Description is a one-line summary for listings and -h output.
+	Description string
+	// Parse builds a policy from the spec argument (the text after
+	// "name:" in a spec; empty when the spec is the bare name). target
+	// is the machine-target context the policy will run under; kinds
+	// that are target-independent ignore it.
+	Parse func(arg, target string) (Policy, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Kind{}
+	regOrder []string
+)
+
+// Register adds a policy kind to the registry. Registering an empty
+// name, a duplicate name, or a nil Parse func is an error.
+func Register(k Kind) error {
+	if k.Name == "" {
+		return fmt.Errorf("policy: register: empty kind name")
+	}
+	if k.Parse == nil {
+		return fmt.Errorf("policy: register %q: nil parse func", k.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[k.Name]; dup {
+		return fmt.Errorf("policy: register %q: already registered", k.Name)
+	}
+	cp := k
+	registry[k.Name] = &cp
+	regOrder = append(regOrder, k.Name)
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for package init blocks.
+func MustRegister(k Kind) {
+	if err := Register(k); err != nil {
+		panic(err)
+	}
+}
+
+// KindByName returns the named kind, or an error naming the known kinds.
+func KindByName(name string) (*Kind, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	k, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for n := range registry {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("policy: unknown kind %q (known: %v)", name, known)
+	}
+	return k, nil
+}
+
+// Kinds returns every registered kind in registration order. The
+// returned slice is fresh; the Kinds it points at are the registry's
+// own.
+func Kinds() []*Kind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Kind, 0, len(regOrder))
+	for _, n := range regOrder {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// specAliases maps historical protocol spellings to canonical specs, so
+// every place that used to accept "LS"/"NS" filter names accepts them
+// as policy specs too.
+var specAliases = map[string]string{
+	"ls":      KindAlways,
+	"ns":      KindNever,
+	"default": KindAlways,
+}
+
+// FromSpec parses the policy spec mini-language:
+//
+//	always | ls            LS protocol (schedule everything)
+//	never | ns             NS protocol (schedule nothing)
+//	size:N                 block length ≥ N
+//	cost:N                 estimated cycles ≥ N under the target model
+//	portfolio:spec+spec    confidence arbitration between member specs
+//
+// plus any kind registered later, as "kind" or "kind:arg". target is
+// the machine-target context (empty = default target); only
+// target-parameterized kinds use it. Spec matching is case-insensitive
+// on the kind name.
+func FromSpec(spec, target string) (Policy, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("policy: empty spec")
+	}
+	name, arg, _ := strings.Cut(spec, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := specAliases[name]; ok {
+		name = canonical
+	}
+	k, err := KindByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := k.Parse(strings.TrimSpace(arg), target)
+	if err != nil {
+		return nil, fmt.Errorf("policy: spec %q: %w", spec, err)
+	}
+	return p, nil
+}
+
+// SpecOf renders a policy back to a spec FromSpec would accept, or ""
+// when the policy is not spec-representable (induced rule sets carry
+// their rules in model-file text, not in a spec). SpecOf(FromSpec(s))
+// round-trips for every spec-representable kind.
+func SpecOf(p Policy) string {
+	switch f := p.(type) {
+	case Always:
+		return KindAlways
+	case Never:
+		return KindNever
+	case SizeThreshold:
+		return fmt.Sprintf("size:%d", f.MinLen)
+	case *CostThreshold:
+		return fmt.Sprintf("cost:%d", f.MinCycles)
+	case *Portfolio:
+		parts := make([]string, len(f.Members))
+		for i, m := range f.Members {
+			s := SpecOf(m)
+			if s == "" || strings.ContainsAny(s, "+") {
+				return ""
+			}
+			parts[i] = s
+		}
+		return KindPortfolio + ":" + strings.Join(parts, "+")
+	}
+	return ""
+}
+
+func init() {
+	MustRegister(Kind{
+		Name:        KindAlways,
+		Description: "LS protocol: schedule every block",
+		Parse: func(arg, _ string) (Policy, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("takes no argument")
+			}
+			return Always{}, nil
+		},
+	})
+	MustRegister(Kind{
+		Name:        KindNever,
+		Description: "NS protocol: schedule no block",
+		Parse: func(arg, _ string) (Policy, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("takes no argument")
+			}
+			return Never{}, nil
+		},
+	})
+	MustRegister(Kind{
+		Name:        KindSize,
+		Description: "schedule blocks of at least N instructions (size:N)",
+		Parse: func(arg, _ string) (Policy, error) {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("want size:N with N ≥ 0, got %q", arg)
+			}
+			return SizeThreshold{MinLen: n}, nil
+		},
+	})
+	MustRegister(Kind{
+		Name:        KindCost,
+		Description: "schedule blocks estimated at ≥ N cycles under the target model (cost:N)",
+		Parse: func(arg, target string) (Policy, error) {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("want cost:N with N ≥ 0, got %q", arg)
+			}
+			return NewCostThreshold(target, n)
+		},
+	})
+	MustRegister(Kind{
+		Name:        KindRipper,
+		Description: "Ripper-induced L/N filter (load from a model file or train one)",
+		Parse: func(arg, _ string) (Policy, error) {
+			return nil, fmt.Errorf("ripper policies are not spec-constructible; load a model file (rules:FILE at the CLI) or train one")
+		},
+	})
+	MustRegister(Kind{
+		Name:        KindPortfolio,
+		Description: "confidence arbitration between member policies (portfolio:spec+spec+...)",
+		Parse: func(arg, target string) (Policy, error) {
+			if arg == "" {
+				return nil, fmt.Errorf("want portfolio:spec+spec+...")
+			}
+			parts := strings.Split(arg, "+")
+			members := make([]Policy, 0, len(parts))
+			for _, part := range parts {
+				m, err := FromSpec(part, target)
+				if err != nil {
+					return nil, err
+				}
+				members = append(members, m)
+			}
+			return NewPortfolio(members...)
+		},
+	})
+}

@@ -21,16 +21,22 @@ type ProgramInput struct {
 	// Unknown names are rejected with 400. Each target is served by its
 	// own immutable model and its own scheduled-block cache.
 	Target string `json:"target,omitempty"`
+	// Policy selects the scheduling policy in the spec mini-language
+	// (always|ls, never|ns, size:N, cost:N, portfolio:spec+spec+...,
+	// or "default" for the server's configured/online policy). It is
+	// the general form of FilterSpec.Filter and wins over it; inline
+	// FilterSpec.Model still wins over both.
+	Policy string `json:"policy,omitempty"`
 }
 
-// FilterSpec selects the scheduling filter for a request.
+// FilterSpec selects the scheduling filter for a request (the
+// historical selector; ProgramInput.Policy is the general one).
 type FilterSpec struct {
-	// Filter is "default" (or empty: the server's configured filter),
-	// "LS" (always schedule), "NS" (never), or "size:N" (block length
-	// threshold).
+	// Filter is "default" (or empty: the server's configured policy),
+	// or any policy spec (LS, NS, size:N, cost:N, portfolio:...).
 	Filter string `json:"filter,omitempty"`
 	// Model is inline model text (schedfilter.FormatFilter format); it
-	// overrides Filter when set.
+	// overrides Filter and ProgramInput.Policy when set.
 	Model string `json:"model,omitempty"`
 }
 
@@ -68,6 +74,11 @@ type ScheduleRequest struct {
 // ScheduleResponse reports a scheduling pass.
 type ScheduleResponse struct {
 	Filter string `json:"filter"`
+	// Policy and PolicyID are the serving policy's display name and
+	// stable content identity (the cache/singleflight/routing key
+	// component). Filter repeats Policy under its historical name.
+	Policy   string `json:"policy"`
+	PolicyID string `json:"policy_id"`
 	// FilterVersion is the online registry version that served the
 	// request (0 when the server runs a static filter, or when the
 	// request pinned an explicit filter spec).
@@ -111,11 +122,15 @@ type BlockDecision struct {
 	Block    int    `json:"block"`
 	BBLen    int    `json:"bb_len"`
 	Schedule bool   `json:"schedule"`
+	// Confidence is the policy's confidence in the decision, in [0,1].
+	Confidence float64 `json:"confidence"`
 }
 
 // PredictResponse reports the filter's decisions.
 type PredictResponse struct {
 	Filter        string          `json:"filter"`
+	Policy        string          `json:"policy"`
+	PolicyID      string          `json:"policy_id"`
 	FilterVersion int             `json:"filter_version,omitempty"`
 	Blocks        int             `json:"blocks"`
 	WouldSchedule int             `json:"would_schedule"`
@@ -135,6 +150,8 @@ type ExecuteRequest struct {
 // ExecuteResponse reports a simulated run.
 type ExecuteResponse struct {
 	Filter        string `json:"filter"`
+	Policy        string `json:"policy"`
+	PolicyID      string `json:"policy_id"`
 	FilterVersion int    `json:"filter_version,omitempty"`
 	// Target is the machine target the run was scheduled and timed for.
 	Target    string   `json:"target"`
@@ -161,6 +178,10 @@ type HealthResponse struct {
 	// unnamed single-node deployments).
 	Node   string `json:"node,omitempty"`
 	Filter string `json:"filter"`
+	// Policy and PolicyID identify the default target's serving policy
+	// (display name + content identity).
+	Policy   string `json:"policy"`
+	PolicyID string `json:"policy_id"`
 	// Model and Target describe the default machine target; Targets
 	// lists every servable target name.
 	Model   string   `json:"model"`
@@ -181,6 +202,35 @@ type HealthResponse struct {
 // target's versioned filter registry plus reservoir gauges.
 type FiltersResponse struct {
 	Targets []schedfilter.OnlineTargetStatus `json:"targets"`
+}
+
+// PolicyInfo describes one serving policy: which target it serves,
+// its display name, registry kind, content identity, and provenance.
+type PolicyInfo struct {
+	Target string `json:"target"`
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	ID     string `json:"id"`
+	// TrainedFor is the machine target recorded in the policy's
+	// provenance (may differ from Target for transferred filters).
+	TrainedFor string `json:"trained_for,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	// Version is the online registry version serving the target (0
+	// without online learning).
+	Version int `json:"version,omitempty"`
+}
+
+// PolicyKindInfo describes one registered policy kind.
+type PolicyKindInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// PoliciesResponse is the body of GET /v1/policies: the registered
+// policy kinds plus every servable target's active policy.
+type PoliciesResponse struct {
+	Kinds  []PolicyKindInfo `json:"kinds"`
+	Active []PolicyInfo     `json:"active"`
 }
 
 // RetrainRequest is the input of POST /v1/retrain. An empty Target

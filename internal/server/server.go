@@ -30,7 +30,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -181,6 +180,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict", s.endpoint("predict", s.doPredict))
 	mux.HandleFunc("POST /v1/execute", s.endpoint("execute", s.doExecute))
 	mux.HandleFunc("GET /v1/filters", s.handleFilters)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("POST /v1/filters/{version}/activate", s.handleActivate)
 	mux.HandleFunc("POST /v1/filters/rollback", s.handleRollback)
 	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
@@ -302,17 +302,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{
-		Status:  "ok",
-		Node:    s.cfg.Node,
-		Filter:  s.cfg.Filter.Name(),
-		Model:   s.def.model.Name,
-		Target:  s.def.name,
-		Targets: append([]string(nil), s.order...),
+		Status:   "ok",
+		Node:     s.cfg.Node,
+		Filter:   s.cfg.Filter.Name(),
+		Policy:   s.cfg.Filter.Name(),
+		PolicyID: schedfilter.PolicyID(s.cfg.Filter),
+		Model:    s.def.model.Name,
+		Target:   s.def.name,
+		Targets:  append([]string(nil), s.order...),
 	}
 	if s.online != nil {
 		resp.Online = true
 		f, version := s.online.ActiveFilter(s.def.name)
 		resp.Filter = f.Name()
+		resp.Policy = f.Name()
+		resp.PolicyID = schedfilter.PolicyID(f)
 		resp.FilterVersion = version
 		resp.ActiveFilters = s.online.ActiveSummary()
 	}
@@ -325,6 +329,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handlePolicies serves GET /v1/policies: the registered policy kinds
+// plus every servable target's active policy (name, kind, content
+// identity, provenance, online version). Unlike /v1/filters it answers
+// with or without online learning — the serving policy always exists.
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	resp := PoliciesResponse{}
+	for _, k := range schedfilter.PolicyKinds() {
+		resp.Kinds = append(resp.Kinds, PolicyKindInfo{Name: k.Name, Description: k.Description})
+	}
+	for _, name := range s.order {
+		f, version := s.cfg.Filter, 0
+		if s.online != nil {
+			f, version = s.online.ActiveFilter(name)
+		}
+		pv := f.Provenance()
+		resp.Active = append(resp.Active, PolicyInfo{
+			Target:     name,
+			Name:       f.Name(),
+			Kind:       pv.Kind,
+			ID:         schedfilter.PolicyID(f),
+			TrainedFor: pv.Target,
+			Detail:     pv.Detail,
+			Version:    version,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // compileInput compiles a request's program (inline source or bundled
@@ -356,36 +391,40 @@ func (s *Server) compileInput(in ProgramInput) (*schedfilter.Program, time.Durat
 	return prog, time.Since(start), nil
 }
 
-// resolveFilter picks the request's scheduling filter for a machine
-// target. The returned version is non-zero only when the filter came
-// from the online registry's active slot — the number hot-swaps change
-// and loadgen tallies.
-func (s *Server) resolveFilter(spec FilterSpec, mt *machineTarget) (schedfilter.Filter, int, error) {
+// resolvePolicy picks the request's scheduling policy for a machine
+// target: inline model text first, then ProgramInput.Policy, then the
+// historical FilterSpec.Filter — the latter two share the policy spec
+// mini-language, with "default"/empty meaning the server's configured
+// (or online-active) policy. The returned version is non-zero only when
+// the policy came from the online registry's active slot — the number
+// hot-swaps change and loadgen tallies.
+func (s *Server) resolvePolicy(policySpec string, spec FilterSpec, mt *machineTarget) (schedfilter.Policy, int, error) {
 	if spec.Model != "" {
-		f, err := schedfilter.ParseFilter(spec.Model)
+		f, err := schedfilter.ParsePolicy(spec.Model, mt.name)
 		return f, 0, err
 	}
-	name := strings.TrimSpace(spec.Filter)
-	switch {
-	case name == "" || strings.EqualFold(name, "default"):
+	name := strings.TrimSpace(policySpec)
+	if name == "" {
+		name = strings.TrimSpace(spec.Filter)
+	}
+	if name == "" || strings.EqualFold(name, "default") {
 		if s.online != nil {
 			f, version := s.online.ActiveFilter(mt.name)
 			return f, version, nil
 		}
 		return s.cfg.Filter, 0, nil
-	case strings.EqualFold(name, "LS"), strings.EqualFold(name, "always"):
-		return schedfilter.AlwaysSchedule, 0, nil
-	case strings.EqualFold(name, "NS"), strings.EqualFold(name, "never"):
-		return schedfilter.NeverSchedule, 0, nil
-	case strings.HasPrefix(name, "size:"):
-		n, err := strconv.Atoi(name[len("size:"):])
-		if err != nil || n < 0 {
-			return nil, 0, fmt.Errorf("bad size filter %q (want size:N)", name)
-		}
-		return schedfilter.SizeFilter(n), 0, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown filter %q (want default, LS, NS, or size:N)", name)
 	}
+	f, err := schedfilter.PolicyFromSpec(name, mt.name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 0, nil
+}
+
+// resolveFilter is resolvePolicy without a ProgramInput.Policy spec
+// (the historical entry point; retrain/activate paths still use it).
+func (s *Server) resolveFilter(spec FilterSpec, mt *machineTarget) (schedfilter.Filter, int, error) {
+	return s.resolvePolicy("", spec, mt)
 }
 
 // observe feeds a freshly compiled (still unscheduled) program to the
@@ -453,7 +492,7 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, version, err := s.resolveFilter(req.FilterSpec, mt)
+	f, version, err := s.resolvePolicy(req.Policy, req.FilterSpec, mt)
 	if err != nil {
 		return nil, err
 	}
@@ -485,6 +524,8 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	}
 	return ScheduleResponse{
 		Filter:        f.Name(),
+		Policy:        f.Name(),
+		PolicyID:      schedfilter.PolicyID(f),
 		FilterVersion: version,
 		Target:        mt.name,
 		Blocks:        st.Blocks,
@@ -514,7 +555,7 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, version, err := s.resolveFilter(req.FilterSpec, mt)
+	f, version, err := s.resolvePolicy(req.Policy, req.FilterSpec, mt)
 	if err != nil {
 		return nil, err
 	}
@@ -522,21 +563,27 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := PredictResponse{Filter: f.Name(), FilterVersion: version}
+	resp := PredictResponse{
+		Filter:        f.Name(),
+		Policy:        f.Name(),
+		PolicyID:      schedfilter.PolicyID(f),
+		FilterVersion: version,
+	}
 	for _, fn := range prog.Fns {
 		for _, b := range fn.Blocks {
 			v := schedfilter.ExtractFeatures(b)
-			yes := f.ShouldSchedule(v)
+			yes, conf := f.Decide(v)
 			resp.Blocks++
 			if yes {
 				resp.WouldSchedule++
 			}
 			if req.Detail {
 				resp.Decisions = append(resp.Decisions, BlockDecision{
-					Fn:       fn.Name,
-					Block:    b.ID,
-					BBLen:    b.Len(),
-					Schedule: yes,
+					Fn:         fn.Name,
+					Block:      b.ID,
+					BBLen:      b.Len(),
+					Schedule:   yes,
+					Confidence: conf,
 				})
 			}
 		}
@@ -553,7 +600,7 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, version, err := s.resolveFilter(req.FilterSpec, mt)
+	f, version, err := s.resolvePolicy(req.Policy, req.FilterSpec, mt)
 	if err != nil {
 		return nil, err
 	}
@@ -581,6 +628,8 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	}
 	return ExecuteResponse{
 		Filter:        f.Name(),
+		Policy:        f.Name(),
+		PolicyID:      schedfilter.PolicyID(f),
 		FilterVersion: version,
 		Target:        mt.name,
 		Ret:           res.Ret,

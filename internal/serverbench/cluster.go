@@ -344,7 +344,7 @@ func runRouting(h *clusterHarness, cfg ClusterConfig, res *ClusterResult) error 
 	gc := &benchClient{base: h.gwListen.URL, hc: h.gwListen.Client()}
 	res.RoutingDeterministic = true
 	for _, w := range cfg.Workloads {
-		want := h.gw.Preference(cluster.RoutingKey("", "", w))[0]
+		want := h.gw.Preference(cluster.RoutingKey("", "", w, ""))[0]
 		res.Routing[w] = want
 		for round := 0; round < 2; round++ {
 			node, err := gc.scheduleNode(server.ScheduleRequest{

@@ -7,6 +7,7 @@ import (
 	"schedfilter/internal/features"
 	"schedfilter/internal/jit"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
@@ -155,7 +156,7 @@ func TraceErrorRate(f core.Filter, td *TraceData, t int) float64 {
 			continue
 		}
 		total++
-		if f.ShouldSchedule(td.Records[i].Feat) != (lbl == +1) {
+		if policy.Schedules(f, td.Records[i].Feat) != (lbl == +1) {
 			wrong++
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"schedfilter/internal/jolt"
 	"schedfilter/internal/machine"
 	"schedfilter/internal/par"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
@@ -284,7 +285,7 @@ func ErrorRate(f core.Filter, bd *BenchData, t int) float64 {
 			continue
 		}
 		total++
-		pred := f.ShouldSchedule(bd.Records[i].Feat)
+		pred := policy.Schedules(f, bd.Records[i].Feat)
 		if pred != (lbl == +1) {
 			wrong++
 		}
@@ -303,7 +304,7 @@ func PredictedTime(bd *BenchData, f core.Filter) int64 {
 	for i := range bd.Records {
 		r := &bd.Records[i]
 		c := r.CostNS
-		if f.ShouldSchedule(r.Feat) {
+		if policy.Schedules(f, r.Feat) {
 			c = r.CostLS
 		}
 		total += r.Execs * int64(c)
@@ -315,7 +316,7 @@ func PredictedTime(bd *BenchData, f core.Filter) int64 {
 // (run-time LS classifications) versus not.
 func Decisions(bd *BenchData, f core.Filter) (ls, ns int) {
 	for i := range bd.Records {
-		if f.ShouldSchedule(bd.Records[i].Feat) {
+		if policy.Schedules(f, bd.Records[i].Feat) {
 			ls++
 		} else {
 			ns++

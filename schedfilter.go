@@ -53,6 +53,7 @@ import (
 	"schedfilter/internal/jolt"
 	"schedfilter/internal/machine"
 	"schedfilter/internal/online"
+	"schedfilter/internal/policy"
 	"schedfilter/internal/ripper"
 	"schedfilter/internal/sched"
 	"schedfilter/internal/sim"
@@ -76,7 +77,21 @@ type (
 	// FeatureVector is the paper's 13 cheap block features (Table 1).
 	FeatureVector = features.Vector
 	// Filter decides per block whether to run the list scheduler.
+	// Historical name for Policy; the two aliases are interchangeable.
 	Filter = core.Filter
+	// Policy is the pluggable scheduling decision procedure: Name,
+	// Decide (schedule + confidence), Provenance.
+	Policy = policy.Policy
+	// PolicyKind is one registered policy constructor (the unit of the
+	// policy registry, as Target is for machines).
+	PolicyKind = policy.Kind
+	// PolicyProvenance records where a policy came from.
+	PolicyProvenance = policy.Provenance
+	// CostPolicy schedules blocks whose estimated cycles under a machine
+	// target meet a threshold.
+	CostPolicy = policy.CostThreshold
+	// PortfolioPolicy arbitrates between member policies by confidence.
+	PortfolioPolicy = policy.Portfolio
 	// InducedFilter is a learned (Ripper rule set) filter.
 	InducedFilter = core.Induced
 	// RuleSet is an ordered Ripper rule list.
@@ -108,8 +123,10 @@ type (
 	ExperimentConfig = experiments.Config
 	// AdaptiveConfig parameterizes the adaptive optimization system.
 	AdaptiveConfig = adaptive.Config
-	// AdaptivePolicy is the controller's cost/benefit promotion model.
-	AdaptivePolicy = adaptive.Policy
+	// AdaptivePolicy is the controller's cost/benefit promotion model
+	// (when to recompile a hot function — distinct from the scheduling
+	// Policy, which decides whether to schedule each block).
+	AdaptivePolicy = adaptive.Promotion
 	// AdaptiveResult reports an adaptive run (online + steady state).
 	AdaptiveResult = adaptive.Result
 	// AdaptiveMetrics are the adaptive controller's per-tier counters.
@@ -299,6 +316,44 @@ func ParseRuleSet(text string) (*RuleSet, error) {
 // blocks of at least minLen instructions.
 func SizeFilter(minLen int) Filter { return core.SizeThreshold{MinLen: minLen} }
 
+// Schedules is the boolean projection of a policy's Decide, for call
+// sites that don't need the confidence.
+func Schedules(p Policy, v FeatureVector) bool { return policy.Schedules(p, v) }
+
+// PolicyKinds lists every registered policy kind in registration order.
+func PolicyKinds() []*PolicyKind { return policy.Kinds() }
+
+// PolicyFromSpec parses the policy spec mini-language (always|ls,
+// never|ns, size:N, cost:N, portfolio:spec+spec+..., plus registered
+// kinds) under the named machine target ("" = default target).
+func PolicyFromSpec(spec, target string) (Policy, error) { return policy.FromSpec(spec, target) }
+
+// PolicySpecOf renders a policy back to a spec PolicyFromSpec accepts,
+// or "" when the policy is not spec-representable (induced rule sets
+// serialize as model text instead; see FormatPolicy).
+func PolicySpecOf(p Policy) string { return policy.SpecOf(p) }
+
+// NewCostPolicy builds the cost-threshold policy against the named
+// machine target ("" = default target).
+func NewCostPolicy(target string, minCycles int) (*CostPolicy, error) {
+	return policy.NewCostThreshold(target, minCycles)
+}
+
+// NewPortfolioPolicy combines member policies under confidence
+// arbitration: per block, the most confident member's decision wins.
+func NewPortfolioPolicy(members ...Policy) (*PortfolioPolicy, error) {
+	return policy.NewPortfolio(members...)
+}
+
+// FormatPolicy renders any policy to persistent text (induced filters
+// as model-file text, spec-representable policies as a one-line spec
+// document); ParsePolicy inverts it.
+func FormatPolicy(p Policy) (string, error) { return policy.Format(p) }
+
+// ParsePolicy reads text produced by FormatPolicy under the named
+// machine target ("" = default target).
+func ParsePolicy(text, target string) (Policy, error) { return policy.Parse(text, target) }
+
 // FormatFilter renders an induced filter as persistent model text: a
 // "# filter: <label>" header, a "# target: <name>" header when the
 // filter records its training target, plus the rule set in the
@@ -316,6 +371,10 @@ func ParseFilter(text string) (*InducedFilter, error) { return core.ParseInduced
 // two filter versions that share a display name can never alias in any
 // content-addressed cache.
 func FilterID(f Filter) string { return core.FilterID(f) }
+
+// PolicyID is FilterID under its policy-layer name: the stable content
+// identity every cache, singleflight, and cluster routing key uses.
+func PolicyID(p Policy) string { return policy.ID(p) }
 
 // SaveFilter writes the induced filter to path as model text — the file
 // the compile-server daemon (cmd/schedserved) boots from.
@@ -341,20 +400,13 @@ func LoadFilter(path string) (*InducedFilter, error) {
 
 // LoadFilterFor is LoadFilter for use under a specific machine target: if
 // the model file records a different training target, a warning naming
-// both targets is printed to stderr. The filter still loads — features
-// are target-independent, so applying it is legal, just possibly
-// mistuned; the Target metadata on the result lets callers decide.
+// both targets is printed to stderr; likewise if the file's "# policy:"
+// header declares a kind other than ripper. The filter still loads —
+// features are target-independent and the rule text is what it is, so
+// applying it is legal, just possibly mistuned; the metadata on the
+// result lets callers decide.
 func LoadFilterFor(path, target string) (*InducedFilter, error) {
-	f, err := LoadFilter(path)
-	if err != nil {
-		return nil, err
-	}
-	if f.Target != "" && target != "" && f.Target != target {
-		fmt.Fprintf(os.Stderr,
-			"schedfilter: warning: %s was trained for target %q but is being used under %q\n",
-			path, f.Target, target)
-	}
-	return f, nil
+	return policy.LoadInducedFor(path, target)
 }
 
 // Workloads returns all bundled benchmark programs (suite 1 then suite 2).
@@ -417,14 +469,14 @@ func TrainDefaultFilter(m *Machine, t int) (*InducedFilter, error) {
 }
 
 // DefaultAdaptivePolicy is the stock cost/benefit promotion policy.
-func DefaultAdaptivePolicy() AdaptivePolicy { return adaptive.DefaultPolicy() }
+func DefaultAdaptivePolicy() AdaptivePolicy { return adaptive.DefaultPromotion() }
 
 // DefaultAdaptiveConfig configures the adaptive optimization system with
 // the stock sampling rate, pool size, and promotion policy. Set Module
 // on the result to let the background workers recompile promoted
 // functions from bytecode rather than from baseline machine code.
 func DefaultAdaptiveConfig(m *Machine, f Filter) AdaptiveConfig {
-	return AdaptiveConfig{Model: m, Filter: f}
+	return AdaptiveConfig{Model: m, Policy: f}
 }
 
 // ExecuteAdaptive runs compiled machine code on the adaptive optimization
