@@ -13,7 +13,8 @@
 //	predict   -src FILE | -workload NAME [-policy P] [-filter F] [-detail] [-target T]
 //	execute   -src FILE | -workload NAME [-policy P] [-filter F] [-untimed] [-target T]
 //	health
-//	metrics
+//	metrics   [-raw]
+//	trace     -src FILE | -workload NAME [-op schedule] [-id ID] [-policy P] [-filter F] [-target T]
 //	cluster
 //	filters   list | activate -v N [-target T] | rollback [-target T]
 //	policies  list
@@ -42,6 +43,14 @@
 // shadow-gate round now, filters list shows every registered version
 // with provenance and gate verdicts, activate hot-swaps a specific
 // version in, and rollback reverts to the previously active one.
+//
+// The metrics command renders the service's /metrics exposition as a
+// readable report — per-endpoint outcome counts with latency
+// percentiles, plus the per-phase timing breakdown recorded from traced
+// requests; -raw dumps the Prometheus text unformatted. The trace
+// command sends one request with an X-Sched-Trace ID and prints where
+// its time went, span by span (through a gateway the breakdown includes
+// the routing overhead).
 //
 // The cluster command asks a schedgate for GET /v1/cluster and prints
 // per-member health and filter versions plus the per-target convergence
@@ -100,7 +109,9 @@ func main() {
 	case "health":
 		err = c.getText("/healthz", os.Stdout)
 	case "metrics":
-		err = c.getText("/metrics", os.Stdout)
+		err = runMetrics(c, args)
+	case "trace":
+		err = runTrace(c, args)
 	case "cluster":
 		err = runCluster(c)
 	case "filters":
@@ -123,7 +134,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] [-timeout D] [-retries N] {compile|schedule|predict|execute|health|metrics|cluster|filters|policies|retrain|loadgen} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedctl [-addr URL] [-timeout D] [-retries N] {compile|schedule|predict|execute|health|metrics|trace|cluster|filters|policies|retrain|loadgen} [flags]")
 }
 
 // client wraps the shared retrying HTTP client with the error shaping

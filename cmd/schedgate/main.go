@@ -6,7 +6,7 @@
 //	schedgate -backends a=http://127.0.0.1:8723,b=http://127.0.0.1:8733
 //	          [-addr :8724] [-check-every 250ms] [-timeout 60s]
 //	          [-retries 2] [-hedge-after 300ms] [-replicas 128]
-//	          [-drain 10s] [-j N] [-policy spec]
+//	          [-drain 10s] [-j N] [-policy spec] [-log-level info]
 //
 // Compile-path requests (/v1/compile, /v1/schedule, /v1/predict,
 // /v1/execute) are routed by consistent hashing on the request's program
@@ -53,7 +53,12 @@ import (
 
 	"schedfilter/internal/cliflags"
 	"schedfilter/internal/cluster"
+	"schedfilter/internal/obs"
 )
+
+// logger is the daemon's structured stderr logger, set once in main;
+// fatal falls back to a bare print before it exists.
+var logger *obs.Logger
 
 func main() {
 	addr := flag.String("addr", ":8724", "listen address")
@@ -67,7 +72,14 @@ func main() {
 	jobs := flag.Int("j", 0, "batch/broadcast fan-out width (0 = GOMAXPROCS)")
 	policySpec := cliflags.Policy(flag.CommandLine, "",
 		"cluster-wide default policy spec injected into requests that pin neither a policy nor a filter: always|ls, never|ns, size:N, cost:N, portfolio:spec+spec")
+	logLevel := cliflags.LogLevel(flag.CommandLine)
 	flag.Parse()
+
+	l, err := cliflags.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger = l
 
 	// The spec travels to the backends, which resolve it against their
 	// own registries — so rules:FILE (a gateway-local path) is out, and
@@ -101,18 +113,22 @@ func main() {
 	for i, m := range members {
 		names[i] = m.Name
 	}
-	fmt.Fprintf(os.Stderr, "schedgate: listening on %s, fronting %d backends (%s)\n",
-		*addr, len(members), strings.Join(names, ", "))
+	logger.Info("listening",
+		"addr", *addr, "backends", len(members), "members", strings.Join(names, ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := g.ListenAndServe(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "schedgate: drained, bye")
+	logger.Info("drained, bye")
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedgate:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "schedgate:", err)
+	}
 	os.Exit(1)
 }

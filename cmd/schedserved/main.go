@@ -8,7 +8,7 @@
 //
 //	schedserved [-addr :8723] [-node NAME] [-model rules.txt] [-filter factory]
 //	            [-policy spec] [-workers N] [-queue N] [-cache WORDS] [-drain 10s]
-//	            [-target mpc7410]
+//	            [-target mpc7410] [-log-level info]
 //	            [-online] [-retrain-every 0] [-spill DIR]
 //	            [-online-threshold 20] [-online-min 64] [-online-samples 4096]
 //
@@ -39,10 +39,11 @@
 // proceeds — block features are target-independent, the filter is just
 // being applied to a machine it was not tuned for.
 //
-// Observability: GET /metrics (Prometheus text format), GET /healthz,
-// and /debug/pprof. Shutdown on SIGINT/SIGTERM is graceful: the listener
-// closes, in-flight compilations drain (bounded by -drain), then the
-// worker pool exits.
+// Observability: GET /metrics (Prometheus text format, including
+// per-phase latency histograms), GET /healthz, /debug/pprof, and
+// structured key=value logs on stderr (-log-level sets the floor).
+// Shutdown on SIGINT/SIGTERM is graceful: the listener closes, in-flight
+// compilations drain (bounded by -drain), then the worker pool exits.
 package main
 
 import (
@@ -60,8 +61,13 @@ import (
 
 	"schedfilter"
 	"schedfilter/internal/cliflags"
+	"schedfilter/internal/obs"
 	"schedfilter/internal/server"
 )
+
+// logger is the daemon's structured stderr logger, set once in main;
+// fatal falls back to a bare print before it exists.
+var logger *obs.Logger
 
 // factoryModel is the "at the factory" filter a JIT would ship: L/N
 // induced at t=20 from every bundled benchmark (schedtrain -suite all
@@ -88,7 +94,14 @@ func main() {
 	onlineT := flag.Int("online-threshold", 20, "online: threshold-t labelling percentage")
 	onlineMin := flag.Int("online-min", 64, "online: minimum training samples before a candidate is induced")
 	onlineCap := flag.Int("online-samples", 0, "online: per-target sample reservoir capacity (0 = default)")
+	logLevel := cliflags.LogLevel(flag.CommandLine)
 	flag.Parse()
+
+	l, err := cliflags.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger = l
 
 	if _, err := schedfilter.TargetByName(*target); err != nil {
 		fatal(err)
@@ -129,15 +142,16 @@ func main() {
 	if *onlineFlag {
 		mode = "online learning on"
 	}
-	fmt.Fprintf(os.Stderr, "schedserved: listening on %s (target %s, filter %s, %d rules in model, %s)\n",
-		*addr, *target, filter.Name(), len(induced.Rules.Rules), mode)
+	logger.Info("listening",
+		"addr", *addr, "node", *node, "target", *target,
+		"filter", filter.Name(), "model_rules", len(induced.Rules.Rules), "mode", mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "schedserved: drained, bye")
+	logger.Info("drained, bye")
 }
 
 func loadModel(path, target string) (*schedfilter.InducedFilter, error) {
@@ -147,8 +161,8 @@ func loadModel(path, target string) (*schedfilter.InducedFilter, error) {
 			return nil, fmt.Errorf("embedded factory model: %w", err)
 		}
 		if f.Target != "" && f.Target != target {
-			fmt.Fprintf(os.Stderr, "schedserved: warning: factory model was trained for target %q but the default target is %q\n",
-				f.Target, target)
+			logger.Warn("factory model trained for a different target",
+				"trained_for", f.Target, "default_target", target)
 		}
 		return f, nil
 	}
@@ -171,6 +185,10 @@ func pickFilter(name, target string, induced *schedfilter.InducedFilter) (schedf
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedserved:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "schedserved:", err)
+	}
 	os.Exit(1)
 }

@@ -1,6 +1,10 @@
 package adaptive
 
-import "time"
+import (
+	"time"
+
+	"schedfilter/internal/obs"
+)
 
 // Metrics are the controller's per-tier counters: what the profiler saw,
 // what the policy promoted, what the pool compiled, and what the filter
@@ -47,4 +51,39 @@ func (m *Metrics) ScheduledFraction() float64 {
 		return 0
 	}
 	return float64(m.BlocksScheduled) / float64(m.BlocksConsidered)
+}
+
+// Register exports a finished run's counters as adaptive_* gauges on a
+// shared registry — the bridge that lets a host embedding the adaptive
+// tier surface its last run next to the serving metrics. The metrics
+// snapshot is captured by value: a later run registers nothing new and
+// the gauges keep reporting the run they were registered for.
+func (m Metrics) Register(reg *obs.Registry) {
+	set := map[string]int64{
+		"adaptive_samples_total":                int64(m.Samples),
+		"adaptive_promotions_total":             int64(m.Promotions),
+		"adaptive_queue_full_total":             int64(m.QueueFull),
+		"adaptive_recompiled_total":             int64(m.Recompiled),
+		"adaptive_installed_total":              int64(m.Installed),
+		"adaptive_installed_post_total":         int64(m.InstalledPost),
+		"adaptive_blocks_considered_total":      int64(m.BlocksConsidered),
+		"adaptive_blocks_scheduled_total":       int64(m.BlocksScheduled),
+		"adaptive_blocks_changed_total":         int64(m.BlocksChanged),
+		"adaptive_compile_time_ns_total":        m.CompileTime.Nanoseconds(),
+		"adaptive_compile_cycles_charged_total": m.CompileCyclesCharged,
+		"adaptive_max_queue_depth":              int64(m.MaxQueueDepth),
+	}
+	// Stable registration order for a stable exposition.
+	for _, name := range []string{
+		"adaptive_samples_total", "adaptive_promotions_total",
+		"adaptive_queue_full_total", "adaptive_recompiled_total",
+		"adaptive_installed_total", "adaptive_installed_post_total",
+		"adaptive_blocks_considered_total", "adaptive_blocks_scheduled_total",
+		"adaptive_blocks_changed_total", "adaptive_compile_time_ns_total",
+		"adaptive_compile_cycles_charged_total", "adaptive_max_queue_depth",
+	} {
+		v := set[name]
+		reg.GaugeFunc(name, "Adaptive-tier run counters (last completed run).",
+			func() int64 { return v })
+	}
 }

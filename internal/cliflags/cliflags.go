@@ -9,10 +9,13 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"strings"
 
 	"schedfilter/internal/core"
 	"schedfilter/internal/machine"
+	"schedfilter/internal/obs"
 	"schedfilter/internal/policy"
 	"schedfilter/internal/profileflags"
 )
@@ -59,6 +62,20 @@ func Policy(fs *flag.FlagSet, def, usage string) *string {
 // commands that want all the shared flags).
 func Profile(fs *flag.FlagSet) *profileflags.Flags {
 	return profileflags.Register(fs)
+}
+
+// LogLevel registers the standard -log-level flag the daemons share.
+func LogLevel(fs *flag.FlagSet) *string {
+	return fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+}
+
+// NewLogger builds a structured logger on w from a -log-level value.
+func NewLogger(w io.Writer, level string) (*obs.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, fmt.Errorf("bad -log-level: %w", err)
+	}
+	return obs.NewLogger(w, lv), nil
 }
 
 // ResolvePolicy turns a -policy value into a runnable policy: "" means

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"schedfilter/internal/httpc"
+	"schedfilter/internal/obs"
 	"schedfilter/internal/par"
 	"schedfilter/internal/server"
 )
@@ -34,9 +35,9 @@ type Gateway struct {
 	order   []string // member names, config order
 	// data is the data-plane client for proxied attempts; per-attempt
 	// retry/hedge policy lives in forward, not in the client.
-	data    *http.Client
-	metrics *gwMetrics
-	mux     *http.ServeMux
+	data *http.Client
+	obs  *gwObs
+	mux  *http.ServeMux
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -73,7 +74,7 @@ func New(cfg Config) (*Gateway, error) {
 		g.order = append(g.order, mem.Name)
 	}
 	g.ring = newRing(g.order, cfg.Replicas)
-	g.metrics = newGwMetrics(g.order,
+	g.obs = newGwObs(g,
 		"compile", "schedule", "predict", "execute",
 		"batch", "cluster", "filters", "policies", "retrain", "activate", "rollback")
 
@@ -130,7 +131,7 @@ func RoutingKey(target, source, workload, policySpec string) string {
 func (g *Gateway) Preference(key string) []string { return g.ring.pick(key) }
 
 // Routed returns how many data-plane attempts each member has received.
-func (g *Gateway) Routed() map[string]int64 { return g.metrics.routedSnapshot() }
+func (g *Gateway) Routed() map[string]int64 { return g.obs.routedSnapshot() }
 
 // proxyResult is one compile-path request's outcome after routing.
 type proxyResult struct {
@@ -144,26 +145,34 @@ type proxyResult struct {
 	err      error // total transport failure (status 0)
 }
 
-// proxy wraps one compile-path endpoint: read the body, route by
-// content key, forward with retries + hedging, relay the answer.
+// proxy wraps one compile-path endpoint: adopt or mint the request's
+// trace ID, read the body, route by content key, forward with retries +
+// hedging, relay the answer with the routing span folded into its trace.
 func (g *Gateway) proxy(ep string) http.HandlerFunc {
 	path := "/v1/" + ep
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		st := g.metrics.endpoint(ep)
+		st := g.obs.endpoint(ep)
+		traceID := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(traceID) {
+			traceID = obs.NewTraceID()
+		}
+		// Echoed on every relay, error replies included, so the client can
+		// correlate even a total routing failure.
+		w.Header().Set(obs.TraceHeader, traceID)
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
 			g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
 			return
 		}
-		res := g.route(r.Context(), path, body)
-		g.relay(w, st, start, res)
+		res := g.route(r.Context(), path, traceID, body)
+		g.relay(w, st, start, traceID, res)
 	}
 }
 
 // route picks the request's healthy preference order by content key and
 // forwards. It never decodes more of the body than the routing fields.
-func (g *Gateway) route(ctx context.Context, path string, body []byte) proxyResult {
+func (g *Gateway) route(ctx context.Context, path, traceID string, body []byte) proxyResult {
 	var pin struct {
 		Source   string `json:"source"`
 		Workload string `json:"workload"`
@@ -193,13 +202,13 @@ func (g *Gateway) route(ctx context.Context, path string, body []byte) proxyResu
 	}
 	prefs := g.healthyPrefs(RoutingKey(pin.Target, pin.Source, pin.Workload, spec))
 	if len(prefs) == 0 {
-		g.metrics.noHealthy.Add(1)
+		g.obs.noHealthy.Inc()
 		return proxyResult{status: http.StatusServiceUnavailable,
 			body: mustJSON(server.ErrorResponse{Error: "no healthy backends"})}
 	}
-	res := g.forward(ctx, path, prefs, body)
+	res := g.forward(ctx, path, traceID, prefs, body)
 	if res.err == nil && res.member != "" && res.member != prefs[0].Name {
-		g.metrics.failovers.Add(1)
+		g.obs.failovers.Inc()
 	}
 	return res
 }
@@ -231,7 +240,7 @@ func injectPolicy(body []byte, spec string) ([]byte, error) {
 //     only when nothing else is in flight;
 //   - a non-retryable answer (2xx, or a 4xx client fault) is relayed
 //     as-is from whichever member produced it first.
-func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, body []byte) proxyResult {
+func (g *Gateway) forward(ctx context.Context, path, traceID string, prefs []*member, body []byte) proxyResult {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	maxAttempts := 1 + g.cfg.Retries
@@ -240,8 +249,8 @@ func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, bod
 	launch := func() {
 		m := prefs[launched%len(prefs)]
 		launched++
-		g.metrics.routedTo(m.Name)
-		go func() { resc <- g.attempt(ctx, path, m, body) }()
+		g.obs.routedTo(m.Name)
+		go func() { resc <- g.attempt(ctx, path, traceID, m, body) }()
 	}
 	launch()
 	var hedgeC <-chan time.Time
@@ -267,7 +276,7 @@ func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, bod
 					// hedge still in flight there is nothing to wait for.
 					sleepCtx(ctx, httpc.BackoffDelay(httpc.DefaultBackoff, launched))
 				}
-				g.metrics.retries.Add(1)
+				g.obs.retries.Inc()
 				launch()
 				inflight++
 			} else if inflight == 0 {
@@ -276,7 +285,7 @@ func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, bod
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < maxAttempts {
-				g.metrics.hedges.Add(1)
+				g.obs.hedges.Inc()
 				launch()
 				inflight++
 			}
@@ -284,13 +293,15 @@ func (g *Gateway) forward(ctx context.Context, path string, prefs []*member, bod
 	}
 }
 
-// attempt runs one proxied request against one member.
-func (g *Gateway) attempt(ctx context.Context, path string, m *member, body []byte) proxyResult {
+// attempt runs one proxied request against one member, propagating the
+// request's trace ID so the backend's spans join the same trace.
+func (g *Gateway) attempt(ctx context.Context, path, traceID string, m *member, body []byte) proxyResult {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+path, bytes.NewReader(body))
 	if err != nil {
 		return proxyResult{member: m.Name, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, traceID)
 	resp, err := g.data.Do(req)
 	if err != nil {
 		// Transport failure: pull the member out of rotation immediately
@@ -314,14 +325,21 @@ func (g *Gateway) attempt(ctx context.Context, path string, m *member, body []by
 }
 
 // relay writes a routed result to the client, preserving the backend's
-// status and body and attributing the answering node.
-func (g *Gateway) relay(w http.ResponseWriter, st *gwEpStats, start time.Time, res proxyResult) {
+// status and body and attributing the answering node. Successful bodies
+// get the gateway's route span folded into their trace: the total
+// becomes the gateway-measured elapsed time, so the client sees where
+// the whole request went, routing overhead included.
+func (g *Gateway) relay(w http.ResponseWriter, st *gwEp, start time.Time, traceID string, res proxyResult) {
 	if res.err != nil {
 		g.replyJSON(w, st, start, http.StatusBadGateway,
 			server.ErrorResponse{Error: fmt.Sprintf("all backends failed after %d attempts: %v", res.attempts, res.err)})
 		return
 	}
-	st.record(res.status, time.Since(start))
+	elapsed := time.Since(start)
+	st.record(res.status, elapsed)
+	if res.status == http.StatusOK {
+		res.body = g.obs.injectRouteSpan(res.body, traceID, elapsed.Nanoseconds())
+	}
 	if res.node != "" {
 		w.Header().Set("X-Sched-Node", res.node)
 	}
@@ -335,7 +353,14 @@ func (g *Gateway) relay(w http.ResponseWriter, st *gwEpStats, start time.Time, r
 
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	st := g.metrics.endpoint("batch")
+	st := g.obs.endpoint("batch")
+	traceID := r.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
+	// One batch is one trace: every fanned-out item carries the same ID,
+	// and the per-item backend traces pass through in the item bodies.
+	w.Header().Set(obs.TraceHeader, traceID)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
 		g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
@@ -387,7 +412,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	path := "/v1/" + req.Op
 	routed := make([]proxyResult, len(reps))
 	par.Do(par.Jobs(g.cfg.Jobs), len(reps), func(u int) {
-		routed[u] = g.route(r.Context(), path, req.Items[reps[u]])
+		routed[u] = g.route(r.Context(), path, traceID, req.Items[reps[u]])
 	})
 	resp := BatchResponse{
 		Op:        req.Op,
@@ -423,8 +448,8 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.WallNs = time.Since(start).Nanoseconds()
-	g.metrics.batchItems.Add(int64(len(req.Items)))
-	g.metrics.batchCoalesced.Add(int64(resp.Coalesced))
+	g.obs.batchItems.Add(int64(len(req.Items)))
+	g.obs.batchCoalesced.Add(int64(resp.Coalesced))
 	g.replyJSON(w, st, start, http.StatusOK, resp)
 }
 
@@ -442,7 +467,7 @@ func (g *Gateway) broadcast(op, path string, body []byte, get bool) (int, Broadc
 	if len(targets) == 0 {
 		return http.StatusServiceUnavailable, resp
 	}
-	g.metrics.broadcasts.Add(1)
+	g.obs.broadcasts.Inc()
 	par.Do(par.Jobs(g.cfg.Jobs), len(targets), func(i int) {
 		m := targets[i]
 		var r *httpc.Response
@@ -492,7 +517,7 @@ func (g *Gateway) broadcast(op, path string, body []byte, get bool) (int, Broadc
 func (g *Gateway) broadcastHandler(op string, pathFn func(r *http.Request) string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		st := g.metrics.endpoint(op)
+		st := g.obs.endpoint(op)
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
 			g.replyJSON(w, st, start, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
@@ -524,7 +549,7 @@ func (g *Gateway) handleRollback(w http.ResponseWriter, r *http.Request) {
 // returns the per-node registries side by side.
 func (g *Gateway) handleFilters(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	st := g.metrics.endpoint("filters")
+	st := g.obs.endpoint("filters")
 	status, resp := g.broadcast("filters", "/v1/filters", nil, true)
 	g.replyJSON(w, st, start, status, resp)
 }
@@ -534,7 +559,7 @@ func (g *Gateway) handleFilters(w http.ResponseWriter, r *http.Request) {
 // policy per target) side by side.
 func (g *Gateway) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	st := g.metrics.endpoint("policies")
+	st := g.obs.endpoint("policies")
 	status, resp := g.broadcast("policies", "/v1/policies", nil, true)
 	g.replyJSON(w, st, start, status, resp)
 }
@@ -608,7 +633,7 @@ func allEqualStr(m map[string]string) bool {
 // fresh poll.
 func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
-	st := g.metrics.endpoint("cluster")
+	st := g.obs.endpoint("cluster")
 	g.CheckNow()
 	resp := ClusterResponse{Total: len(g.order), Replicas: g.cfg.Replicas}
 	for _, name := range g.order {
@@ -657,10 +682,10 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = io.WriteString(w, g.metrics.render(g))
+	g.obs.reg.Render(w)
 }
 
-func (g *Gateway) replyJSON(w http.ResponseWriter, st *gwEpStats, start time.Time, status int, v any) {
+func (g *Gateway) replyJSON(w http.ResponseWriter, st *gwEp, start time.Time, status int, v any) {
 	st.record(status, time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"schedfilter/internal/obs"
+	"schedfilter/internal/server"
+)
+
+// TestGatewayMetricNameCompat locks the pre-refactor schedgate_* metric
+// names byte for byte now that the gateway renders through the shared
+// registry.
+func TestGatewayMetricNameCompat(t *testing.T) {
+	tc := newTestCluster(t, 2, false, nil)
+	if code, _ := scheduleVia(t, tc.gwts.URL, server.ScheduleRequest{
+		ProgramInput: server.ProgramInput{Source: testProgram(1)},
+	}); code != 200 {
+		t.Fatalf("schedule status %d", code)
+	}
+	_, body := getVia(t, tc.gwts.URL, "/metrics")
+	text := string(body)
+
+	want := []string{
+		`schedgate_requests_total{endpoint="schedule",outcome="ok"} `,
+		`schedgate_requests_total{endpoint="schedule",outcome="client_error"} `,
+		`schedgate_requests_total{endpoint="schedule",outcome="server_error"} `,
+		`schedgate_requests_total{endpoint="batch",outcome="ok"} `,
+		`schedgate_latency_ns_sum{endpoint="schedule"} `,
+		`schedgate_latency_ns_max{endpoint="schedule"} `,
+		`schedgate_routed_total{member="n1"} `,
+		`schedgate_routed_total{member="n2"} `,
+		"schedgate_hedged_requests_total ",
+		"schedgate_retried_attempts_total ",
+		"schedgate_failovers_total ",
+		"schedgate_no_healthy_total ",
+		"schedgate_batch_items_total ",
+		"schedgate_batch_coalesced_total ",
+		"schedgate_broadcasts_total ",
+		`schedgate_member_healthy{member="n1"} 1`,
+		`schedgate_member_healthy{member="n2"} 1`,
+		"schedgate_members 2",
+		"schedgate_members_healthy 2",
+		"schedgate_draining 0",
+		"schedgate_ring_replicas ",
+		"schedgate_uptime_seconds ",
+		// The new histograms ride alongside the historical lines.
+		`schedgate_request_latency_ns_count{endpoint="schedule"} `,
+		`schedgate_phase_ns_bucket{phase="route",le="+Inf"} `,
+	}
+	for _, w := range want {
+		if !strings.Contains(text, "\n"+w) && !strings.HasPrefix(text, w) {
+			t.Errorf("metric line %q missing from gateway /metrics", w)
+		}
+	}
+	if _, err := obs.ParseExposition(text); err != nil {
+		t.Errorf("gateway exposition does not parse: %v", err)
+	}
+}
+
+// TestTracePropagation pins the cross-node trace contract: a trace ID
+// presented at the gateway reaches the backend, comes back on both hop
+// headers, and the relayed body carries the gateway-measured total with
+// a route span accounting for time the backend did not see. Run under
+// -race this also exercises concurrent traced routing.
+func TestTracePropagation(t *testing.T) {
+	tc := newTestCluster(t, 2, false, nil)
+
+	postTraced := func(id string, prog string) (*http.Response, server.ScheduleResponse) {
+		t.Helper()
+		buf, err := json.Marshal(server.ScheduleRequest{
+			ProgramInput: server.ProgramInput{Source: prog},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest("POST", tc.gwts.URL+"/v1/schedule", bytes.NewReader(buf))
+		if id != "" {
+			req.Header.Set(obs.TraceHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr server.ScheduleResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return resp, sr
+	}
+
+	resp, sr := postTraced("gw-trace-7", testProgram(7))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "gw-trace-7" {
+		t.Errorf("gateway %s header = %q", obs.TraceHeader, got)
+	}
+	if sr.Trace == nil {
+		t.Fatal("relayed response carries no trace")
+	}
+	if sr.Trace.ID != "gw-trace-7" {
+		t.Errorf("trace id = %q, want the one presented at the gateway", sr.Trace.ID)
+	}
+	// The route span exists, leads the backend's spans, and the span sum
+	// stays within the gateway-measured total.
+	if len(sr.Trace.Spans) == 0 || sr.Trace.Spans[0].Phase != obs.PhaseRoute {
+		t.Fatalf("route span missing or not first: %+v", sr.Trace.Spans)
+	}
+	var sum int64
+	seen := map[string]bool{}
+	for _, sp := range sr.Trace.Spans {
+		sum += sp.Ns
+		seen[sp.Phase] = true
+	}
+	if sum > sr.Trace.TotalNs {
+		t.Errorf("spans sum %d > gateway total %d", sum, sr.Trace.TotalNs)
+	}
+	if !seen[obs.PhaseCompile] || !seen[obs.PhaseQueueWait] {
+		t.Errorf("backend spans did not survive the relay: %+v", sr.Trace.Spans)
+	}
+
+	// No inbound header: the gateway mints an ID, and the backend adopts
+	// it — header and body agree.
+	resp2, sr2 := postTraced("", testProgram(8))
+	id := resp2.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(id) {
+		t.Fatalf("minted trace id %q invalid", id)
+	}
+	if sr2.Trace == nil || sr2.Trace.ID != id {
+		t.Errorf("body trace does not match minted header id %q: %+v", id, sr2.Trace)
+	}
+
+	// Concurrent traced requests keep their IDs straight end to end.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := "conc-" + string(rune('a'+i))
+			resp, sr := postTraced(id, testProgram(100+i))
+			defer resp.Body.Close()
+			if got := resp.Header.Get(obs.TraceHeader); got != id {
+				t.Errorf("concurrent header id = %q, want %q", got, id)
+			}
+			if sr.Trace == nil || sr.Trace.ID != id {
+				t.Errorf("concurrent body trace = %+v, want id %q", sr.Trace, id)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -34,6 +34,11 @@ type Stats struct {
 	// uncached passes.
 	CacheHits   int
 	CacheMisses int
+	// Phases is the per-phase wall-time breakdown of the pass
+	// (cache lookup, DAG build, list schedule, estimator). Populated
+	// only by the timed pass variants (ApplyFilterCachedTimed); all
+	// zero otherwise.
+	Phases sched.PhaseTimes
 }
 
 // ApplyFilter runs the scheduling phase over every block of the program,
@@ -60,6 +65,26 @@ func ApplyFilterCached(m *machine.Model, p *ir.Program, f Filter, c *codecache.C
 	for _, fn := range p.Fns {
 		applyFnBlocks(m, fn, f, c, s, &st)
 	}
+	sched.PutScratch(s)
+	st.SchedTime = time.Since(start)
+	return st
+}
+
+// ApplyFilterCachedTimed is ApplyFilterCached with the scratch's phase
+// timing enabled: the returned stats carry the per-phase wall-time
+// breakdown (Stats.Phases) the serving layer feeds into traces and
+// histograms. The breakdown costs two monotonic clock reads per phase
+// and adds no allocations to the hot path; callers that don't need it
+// should use ApplyFilterCached.
+func ApplyFilterCachedTimed(m *machine.Model, p *ir.Program, f Filter, c *codecache.Cache) Stats {
+	var st Stats
+	start := time.Now()
+	s := sched.GetScratch()
+	s.StartTiming()
+	for _, fn := range p.Fns {
+		applyFnBlocks(m, fn, f, c, s, &st)
+	}
+	st.Phases = s.StopTiming()
 	sched.PutScratch(s)
 	st.SchedTime = time.Since(start)
 	return st

@@ -43,6 +43,9 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	// headers are set on every request (every retry attempt included) —
+	// how schedctl pins a trace ID across a whole exchange.
+	headers http.Header
 	// sleep pauses between attempts; time.Sleep outside tests, which
 	// substitute a recording clock so backoff is asserted, not awaited.
 	sleep func(time.Duration)
@@ -77,6 +80,16 @@ func New(base string, timeout time.Duration, retries int) *Client {
 
 // Base returns the client's base URL.
 func (c *Client) Base() string { return c.base }
+
+// SetHeader adds a header sent on every subsequent request (retries
+// included). Not safe to call concurrently with requests; configure the
+// client before using it.
+func (c *Client) SetHeader(key, value string) {
+	if c.headers == nil {
+		c.headers = make(http.Header, 1)
+	}
+	c.headers.Set(key, value)
+}
 
 // Retryable reports whether a response status is worth re-attempting:
 // 429 (backpressure) and the 5xx gateway/drain statuses. 400-class
@@ -118,6 +131,9 @@ func (c *Client) do(build func() (*http.Request, error)) (*Response, error) {
 		req, err := build()
 		if err != nil {
 			return nil, err
+		}
+		for key, vals := range c.headers {
+			req.Header[key] = vals
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

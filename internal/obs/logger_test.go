@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+func testLogger(min Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&b, min)
+	l.now = fixedClock
+	return l, &b
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "": LevelInfo,
+		"INFO": LevelInfo, " Error ": LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("listening", "addr", ":8723", "workers", 8)
+	got := b.String()
+	want := `ts=2026-08-08T12:00:00.000Z level=info msg=listening addr=:8723 workers=8` + "\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("drained, bye")
+	got := b.String()
+	// Quoted (contains space) but the grep-target substring survives.
+	if !strings.Contains(got, `msg="drained, bye"`) {
+		t.Fatalf("quoting broke the message: %q", got)
+	}
+	if !strings.Contains(got, "drained, bye") {
+		t.Fatalf("smoke-test grep target missing: %q", got)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := b.String()
+	if strings.Contains(got, "level=debug") || strings.Contains(got, "level=info") {
+		t.Fatalf("below-threshold lines emitted: %q", got)
+	}
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, "level=error") {
+		t.Fatalf("threshold lines missing: %q", got)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled() disagrees with filter")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	child := l.With("component", "schedgate")
+	child.Info("up", "backends", 3)
+	got := b.String()
+	if !strings.Contains(got, " component=schedgate ") {
+		t.Fatalf("With attrs missing: %q", got)
+	}
+	if !strings.Contains(got, "backends=3") {
+		t.Fatalf("call args missing: %q", got)
+	}
+}
+
+func TestLoggerValueFormats(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("m", "err", errors.New("boom bad"), "dur", 1500*time.Millisecond, "odd")
+	got := b.String()
+	if !strings.Contains(got, `err="boom bad"`) {
+		t.Errorf("error formatting: %q", got)
+	}
+	if !strings.Contains(got, "dur=1.5s") {
+		t.Errorf("duration formatting: %q", got)
+	}
+	if !strings.Contains(got, "!BADKEY=odd") {
+		t.Errorf("odd-arg marker missing: %q", got)
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens")
+	l.With("k", "v").Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger Enabled = true")
+	}
+}

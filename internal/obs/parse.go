@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is the client-side view of a /metrics payload — the data
+// schedctl's pretty-printer and the compat tests work from.
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram
+}
+
+// ParseExposition parses Prometheus text format (the subset the obs
+// renderer emits plus float values). Comment lines other than # TYPE
+// are skipped; malformed lines are an error.
+func ParseExposition(text string) (*Exposition, error) {
+	e := &Exposition{Types: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				e.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	return e, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	// name[{labels}] value
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.LastIndex(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		if strings.TrimSpace(rest) == "+Inf" {
+			v = math.Inf(1)
+		} else {
+			return s, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := body[:eq]
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		// find the closing quote, honouring backslash escapes
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value: %w", err)
+		}
+		labels[key] = val
+		body = rest[end+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return labels, nil
+}
+
+func labelsMatch(have map[string]string, want map[string]string) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the sample value for an exact name+labels match.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name == name && labelsMatch(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Family returns every sample of the named family, in document order.
+func (e *Exposition) Family(name string) []Sample {
+	var out []Sample
+	for _, s := range e.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TextHistogram is a histogram reconstructed from _bucket/_sum/_count
+// exposition lines.
+type TextHistogram struct {
+	Bounds []int64 // finite upper bounds, ascending
+	Counts []int64 // per-bucket (non-cumulative), len(Bounds)+1, last is +Inf
+	Sum    int64
+	Count  int64
+}
+
+// Quantile estimates the p-quantile with the same interpolation as the
+// server-side HistSnapshot.
+func (h *TextHistogram) Quantile(p float64) int64 {
+	return quantileFromBuckets(h.Bounds, h.Counts, h.Count, p)
+}
+
+// Histogram reconstructs the named histogram series (matching the
+// non-le labels exactly). Returns false when no bucket lines exist.
+func (e *Exposition) Histogram(name string, labels map[string]string) (*TextHistogram, bool) {
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	type bucket struct {
+		bound float64
+		cum   int64
+	}
+	var buckets []bucket
+	h := &TextHistogram{}
+	for _, s := range e.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				continue
+			}
+			rest := make(map[string]string, len(s.Labels)-1)
+			for k, v := range s.Labels {
+				if k != "le" {
+					rest[k] = v
+				}
+			}
+			if !labelsMatch(rest, labels) {
+				continue
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					continue
+				}
+				bound = b
+			}
+			buckets = append(buckets, bucket{bound: bound, cum: int64(s.Value)})
+		case name + "_sum":
+			if labelsMatch(s.Labels, labels) {
+				h.Sum = int64(s.Value)
+			}
+		case name + "_count":
+			if labelsMatch(s.Labels, labels) {
+				h.Count = int64(s.Value)
+			}
+		}
+	}
+	if len(buckets) == 0 {
+		return nil, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound })
+	var prev int64
+	for _, b := range buckets {
+		if !math.IsInf(b.bound, 1) {
+			h.Bounds = append(h.Bounds, int64(b.bound))
+		}
+		h.Counts = append(h.Counts, b.cum-prev)
+		prev = b.cum
+	}
+	// If the exposition lacked an explicit +Inf bucket, pad so Counts
+	// stays len(Bounds)+1.
+	for len(h.Counts) < len(h.Bounds)+1 {
+		h.Counts = append(h.Counts, 0)
+	}
+	return h, true
+}

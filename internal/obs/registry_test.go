@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want substring %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "Foo", "1abc", "_x", "with-dash", "dot.ted", "café"} {
+		mustPanic(t, "invalid metric name", func() { r.Counter(bad, "") })
+	}
+	mustPanic(t, "invalid label name", func() { r.Counter("ok_name", "", L("Bad-Label", "v")) })
+}
+
+func TestRegistryRejectsDuplicateSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "", L("endpoint", "compile"))
+	r.Counter("requests_total", "", L("endpoint", "schedule")) // distinct labels: fine
+	mustPanic(t, "duplicate series", func() {
+		r.Counter("requests_total", "", L("endpoint", "compile"))
+	})
+	r.Gauge("depth", "")
+	mustPanic(t, "duplicate series", func() { r.Gauge("depth", "") })
+	r.Dynamic("dyn_family", "", func(emit Emit) {})
+	mustPanic(t, "duplicate metric name", func() { r.Dynamic("dyn_family", "", func(emit Emit) {}) })
+	mustPanic(t, "dynamic", func() { r.Gauge("dyn_family", "") })
+}
+
+func TestRegistryRejectsKindConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	mustPanic(t, "registered as both", func() { r.Gauge("x_total", "") })
+}
+
+func TestHistogramDerivedNameReservation(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ns", "", nil)
+	for _, clash := range []string{"lat_ns_bucket", "lat_ns_sum", "lat_ns_count"} {
+		mustPanic(t, "collides", func() { r.Counter(clash, "") })
+	}
+	// And the reverse: a histogram whose derived names hit existing ones.
+	r2 := NewRegistry()
+	r2.Counter("lat_ns_sum", "")
+	mustPanic(t, "collides", func() { r2.Histogram("lat_ns", "", nil) })
+}
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.", L("endpoint", "compile"), L("outcome", "ok"))
+	c.Add(3)
+	g := r.Gauge("workers", "")
+	g.Set(8)
+	m := r.Max("latency_ns_max", "", L("endpoint", "compile"))
+	m.Observe(50)
+	m.Observe(40)
+	r.GaugeFunc("uptime_seconds", "", func() int64 { return 12 })
+	r.Dynamic("filter_version", "", func(emit Emit) {
+		emit(2, L("target", "mpc7410"))
+		emit(1, L("target", "scalar1"))
+	})
+
+	got := r.RenderString()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.\n",
+		"# TYPE requests_total counter\n",
+		"requests_total{endpoint=\"compile\",outcome=\"ok\"} 3\n",
+		"# TYPE workers gauge\n",
+		"workers 8\n",
+		"latency_ns_max{endpoint=\"compile\"} 50\n",
+		"uptime_seconds 12\n",
+		"filter_version{target=\"mpc7410\"} 2\n",
+		"filter_version{target=\"scalar1\"} 1\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render missing %q\n---\n%s", want, got)
+		}
+	}
+	// No HELP line for empty help text.
+	if strings.Contains(got, "# HELP workers") {
+		t.Errorf("unexpected HELP line for empty help\n%s", got)
+	}
+}
+
+func TestRenderRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Counter("a_total", "")
+	got := r.RenderString()
+	if strings.Index(got, "b_total") > strings.Index(got, "a_total") {
+		t.Fatalf("families not in registration order:\n%s", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "")
+	r.Gauge("two", "")
+	r.Counter("one_total", "", L("k", "v"))
+	names := r.Names()
+	if len(names) != 2 || names[0] != "one_total" || names[1] != "two" {
+		t.Fatalf("Names() = %v", names)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestValidTraceID(t *testing.T) {
+	for _, good := range []string{"a", "deadbeef00112233", "A-Z_09", "x"} {
+		if !ValidTraceID(good) {
+			t.Errorf("ValidTraceID(%q) = false", good)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", string(long), "é"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+}
+
+func TestStartTraceMintsWhenInvalid(t *testing.T) {
+	tr := StartTrace("not valid!")
+	if !ValidTraceID(tr.ID()) {
+		t.Fatalf("minted ID %q invalid", tr.ID())
+	}
+	tr2 := StartTrace("keepme01")
+	if tr2.ID() != "keepme01" {
+		t.Fatalf("ID = %q, want keepme01", tr2.ID())
+	}
+	if a, b := NewTraceID(), NewTraceID(); a == b {
+		t.Fatalf("two minted IDs collided: %q", a)
+	}
+}
+
+func TestTraceRecordFinish(t *testing.T) {
+	tr := StartTrace("abc123")
+	tr.Record(PhaseDAGBuild, 100)
+	tr.Record(PhaseListSchedule, 200)
+	tr.Record(PhaseEstimator, 0)    // dropped
+	tr.Record(PhaseCacheLookup, -5) // dropped
+	info := tr.Finish(1000)
+	if info.ID != "abc123" || info.TotalNs != 1000 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Spans) != 2 {
+		t.Fatalf("spans = %+v", info.Spans)
+	}
+	if info.SpanNs(PhaseDAGBuild) != 100 || info.SpanNs(PhaseListSchedule) != 200 {
+		t.Fatalf("span lookup failed: %+v", info.Spans)
+	}
+	if info.SpanNs(PhaseEstimator) != 0 {
+		t.Fatalf("dropped span resurfaced")
+	}
+	var sum int64
+	for _, s := range info.Spans {
+		sum += s.Ns
+	}
+	if sum > info.TotalNs {
+		t.Fatalf("sum of spans %d > total %d", sum, info.TotalNs)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Record(PhaseCompile, 10)
+	if tr.Finish(5) != nil {
+		t.Fatal("nil trace Finish != nil")
+	}
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID != empty")
+	}
+	var info *TraceInfo
+	if info.SpanNs(PhaseCompile) != 0 {
+		t.Fatal("nil TraceInfo SpanNs != 0")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := StartTrace("ctxid001")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %v, want %v", got, tr)
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom(empty ctx) != nil")
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := StartTrace("race0001")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Record(PhaseCompile, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	info := tr.Finish(10_000)
+	if len(info.Spans) != 800 {
+		t.Fatalf("got %d spans, want 800", len(info.Spans))
+	}
+}

@@ -27,7 +27,7 @@ type Manager struct {
 	targets map[string]*targetState
 	order   []string
 
-	queue   chan obs
+	queue   chan observation
 	workers sync.WaitGroup // measurement worker lifetime
 	pending sync.WaitGroup // queued-but-unmeasured observations
 	stop    chan struct{}
@@ -62,8 +62,8 @@ type targetState struct {
 	retrainMu sync.Mutex // single-flight retraining per target
 }
 
-// obs is one block awaiting background measurement.
-type obs struct {
+// observation is one block awaiting background measurement.
+type observation struct {
 	st     *targetState
 	fn     string
 	key    codecache.Key
@@ -79,7 +79,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:     cfg,
 		targets: map[string]*targetState{},
-		queue:   make(chan obs, cfg.QueueDepth),
+		queue:   make(chan observation, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		induce:  training.TrainFilter,
 	}
@@ -158,7 +158,7 @@ func (m *Manager) Observe(target string, p *ir.Program) {
 				m.known.Add(1)
 				continue
 			}
-			o := obs{st: st, fn: fn.Name, key: key,
+			o := observation{st: st, fn: fn.Name, key: key,
 				instrs: append([]ir.Instr(nil), b.Instrs...)}
 			m.mu.Lock()
 			if m.closed {

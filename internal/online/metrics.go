@@ -1,0 +1,38 @@
+package online
+
+import "schedfilter/internal/obs"
+
+// RegisterMetrics registers the learning loop's online_* series with a
+// shared registry: the scalar loop counters read live from the
+// manager's atomics, and the per-target registry/reservoir gauges
+// expanded from Status() at render time (targets are fixed at boot but
+// version counts move, so a dynamic family fits). The names match the
+// loop's historical /metrics lines byte for byte.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	const help = "Online-learning loop: sample collector, trainer, registry."
+	reg.CounterFunc("online_blocks_observed_total", help, m.observed.Load)
+	reg.CounterFunc("online_blocks_known_total", "", m.known.Load)
+	reg.CounterFunc("online_blocks_enqueued_total", "", m.enqueued.Load)
+	reg.CounterFunc("online_blocks_dropped_total", "", m.dropped.Load)
+	reg.CounterFunc("online_samples_measured_total", "", m.measured.Load)
+	reg.CounterFunc("online_retrains_total", "", m.retrains.Load)
+	reg.CounterFunc("online_promotions_total", "", m.promotions.Load)
+	reg.CounterFunc("online_rejections_total", "", m.rejections.Load)
+	reg.CounterFunc("online_activations_total", "", m.activations.Load)
+	reg.CounterFunc("online_rollbacks_total", "", m.rollbacks.Load)
+	reg.Dynamic("online_active_filter_version", "Per-target serving filter version.", func(emit obs.Emit) {
+		for _, ts := range m.Status() {
+			emit(int64(ts.ActiveVersion), obs.L("target", ts.Target))
+		}
+	})
+	reg.Dynamic("online_filter_versions", "Per-target registry depth.", func(emit obs.Emit) {
+		for _, ts := range m.Status() {
+			emit(int64(len(ts.Versions)), obs.L("target", ts.Target))
+		}
+	})
+	reg.Dynamic("online_reservoir_samples", "Per-target reservoir occupancy.", func(emit obs.Emit) {
+		for _, ts := range m.Status() {
+			emit(int64(ts.Reservoir), obs.L("target", ts.Target))
+		}
+	})
+}

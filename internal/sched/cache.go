@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"time"
+
 	"schedfilter/internal/codecache"
 	"schedfilter/internal/ir"
 	"schedfilter/internal/machine"
@@ -28,8 +30,16 @@ func ScheduleBlockCachedScratch(m *machine.Model, b *ir.Block, c *codecache.Cach
 	if c == nil {
 		return ScheduleBlockScratch(m, b, s), false
 	}
+	var lookStart time.Time
+	if s.timing {
+		lookStart = time.Now()
+	}
 	key := codecache.BlockKey(m.Name, b.Instrs)
-	if e, ok := c.Lookup(key, len(b.Instrs)); ok {
+	e, ok := c.Lookup(key, len(b.Instrs))
+	if s.timing {
+		s.phases.CacheLookupNs += time.Since(lookStart).Nanoseconds()
+	}
+	if ok {
 		res := Result{CostBefore: e.CostBefore, CostAfter: e.CostAfter, Changed: e.Changed}
 		res.Order = make([]int, len(b.Instrs))
 		if e.Changed {

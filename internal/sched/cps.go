@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"time"
+
 	"schedfilter/internal/ir"
 	"schedfilter/internal/machine"
 )
@@ -40,12 +42,31 @@ func ScheduleInstrs(m *machine.Model, instrs []ir.Instr) Result {
 // ScheduleInstrsScratch is ScheduleInstrs with caller-held working memory:
 // the dependence DAG is built into the scratch's reusable storage and the
 // scheduling loop runs on its arrays and issue state.
+//
+// When the scratch's timing mode is on (StartTiming), the DAG build and
+// the scheduling loop are timed into the scratch's phase accumulator;
+// the untimed path is a single boolean check away from the original.
 func ScheduleInstrsScratch(m *machine.Model, instrs []ir.Instr, s *Scratch) Result {
 	if len(instrs) == 0 {
 		return Result{}
 	}
+	if !s.timing {
+		buildDAGInto(m, instrs, &s.dag, s)
+		return scheduleDAG(m, instrs, &s.dag, s)
+	}
+	t0 := time.Now()
 	buildDAGInto(m, instrs, &s.dag, s)
-	return scheduleDAG(m, instrs, &s.dag, s)
+	s.phases.DAGBuildNs += time.Since(t0).Nanoseconds()
+	estBefore := s.phases.EstimatorNs
+	t1 := time.Now()
+	res := scheduleDAG(m, instrs, &s.dag, s)
+	elapsed := time.Since(t1).Nanoseconds()
+	// scheduleDAG accrued its estimator sub-pass separately; the
+	// remainder is the list-scheduling loop proper.
+	if ls := elapsed - (s.phases.EstimatorNs - estBefore); ls > 0 {
+		s.phases.ListSchedNs += ls
+	}
+	return res
 }
 
 // ScheduleInstrsUnpooled is ScheduleInstrs on freshly allocated working
@@ -99,12 +120,19 @@ func scheduleDAG(m *machine.Model, instrs []ir.Instr, dag *DAG, s *Scratch) Resu
 	dag.criticalPathsInto(m, instrs, cp)
 
 	// The estimator cost of the original order, from the reused state.
+	var estStart time.Time
+	if s.timing {
+		estStart = time.Now()
+	}
 	state := s.stateFor(m)
 	for i := range instrs {
 		state.Issue(&instrs[i])
 	}
 	res.CostBefore = state.Makespan()
 	state.Reset()
+	if s.timing {
+		s.phases.EstimatorNs += time.Since(estStart).Nanoseconds()
+	}
 
 	indeg := growInts(&s.indeg, n)
 	inReady := growBools(&s.inReady, n)

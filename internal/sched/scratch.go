@@ -54,6 +54,12 @@ type Scratch struct {
 	nUse     int
 	loads    []int
 	live     []liveStore
+
+	// Phase timing (timing.go). Off by default; when on, the
+	// scheduling entry points accumulate per-phase wall time into
+	// phases. Held by value so timed runs stay allocation-free.
+	timing bool
+	phases PhaseTimes
 }
 
 // regEntry is one register's builder state: the instruction that last
@@ -75,8 +81,13 @@ var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns a scratch to the package pool. The scratch must not
-// be used after the call.
-func PutScratch(s *Scratch) { scratchPool.Put(s) }
+// be used after the call. Timing mode is switched off so a pooled
+// scratch never leaks one caller's instrumentation into the next.
+func PutScratch(s *Scratch) {
+	s.timing = false
+	s.phases = PhaseTimes{}
+	scratchPool.Put(s)
+}
 
 // stateFor returns the scratch's issue state reset for a fresh block,
 // rebuilding it if the machine model changed since the last call.

@@ -1,0 +1,52 @@
+package sched
+
+// PhaseTimes is the per-phase wall-time breakdown of a scheduling pass,
+// accumulated by a Scratch whose timing mode is on. The fields map to
+// the obs span vocabulary: cache_lookup, dag_build, list_schedule,
+// estimator. It is a plain value struct — it lives inside the pooled
+// Scratch by value precisely so that enabling timing never puts anything
+// on the heap.
+type PhaseTimes struct {
+	// CacheLookupNs covers block fingerprinting plus the
+	// scheduled-block cache probe.
+	CacheLookupNs int64
+	// DAGBuildNs covers dependence-DAG construction.
+	DAGBuildNs int64
+	// ListSchedNs covers the list-scheduling loop proper (ready-list
+	// maintenance, issue-state stepping, winner selection).
+	ListSchedNs int64
+	// EstimatorNs covers the standalone estimator passes (the
+	// original-order CostBefore walk).
+	EstimatorNs int64
+}
+
+// Add accumulates q into p.
+func (p *PhaseTimes) Add(q PhaseTimes) {
+	p.CacheLookupNs += q.CacheLookupNs
+	p.DAGBuildNs += q.DAGBuildNs
+	p.ListSchedNs += q.ListSchedNs
+	p.EstimatorNs += q.EstimatorNs
+}
+
+// Total sums every phase.
+func (p PhaseTimes) Total() int64 {
+	return p.CacheLookupNs + p.DAGBuildNs + p.ListSchedNs + p.EstimatorNs
+}
+
+// StartTiming turns on phase timing for subsequent scheduling calls on
+// this scratch, resetting the accumulator. Timing is off by default and
+// costs the untimed hot path only a per-block boolean check; with it on,
+// each phase pays two monotonic clock reads and no allocations.
+func (s *Scratch) StartTiming() {
+	s.timing = true
+	s.phases = PhaseTimes{}
+}
+
+// StopTiming turns phase timing off and returns the accumulated
+// breakdown since StartTiming.
+func (s *Scratch) StopTiming() PhaseTimes {
+	p := s.phases
+	s.timing = false
+	s.phases = PhaseTimes{}
+	return p
+}

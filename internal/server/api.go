@@ -1,11 +1,28 @@
 package server
 
-import "schedfilter"
+import (
+	"schedfilter"
+	"schedfilter/internal/obs"
+)
 
 // The compile service's JSON wire types. Every compiler endpoint accepts
 // the same input shape: Jolt source (or the name of a bundled benchmark
 // workload), plus an optional filter selector. Errors come back as
 // ErrorResponse with a non-2xx status.
+
+// Traced embeds the request's trace in a response: the trace ID (also
+// echoed as the X-Sched-Trace header) plus the per-phase span timings
+// recorded along the compile path. The endpoint wrapper fills it in
+// just before encoding; span durations never sum past TotalNs.
+type Traced struct {
+	Trace *obs.TraceInfo `json:"trace,omitempty"`
+}
+
+func (t *Traced) setTrace(info *obs.TraceInfo) { t.Trace = info }
+
+// traceCarrier is how the endpoint wrapper recognizes responses that
+// embed Traced.
+type traceCarrier interface{ setTrace(*obs.TraceInfo) }
 
 // ProgramInput names the code a request operates on — inline Jolt source
 // or one of the bundled benchmark workloads — and the machine target it
@@ -54,6 +71,7 @@ type CompileRequest struct {
 
 // CompileResponse reports a compilation.
 type CompileResponse struct {
+	Traced
 	Fns       int    `json:"fns"`
 	Blocks    int    `json:"blocks"`
 	Instrs    int    `json:"instrs"`
@@ -73,6 +91,7 @@ type ScheduleRequest struct {
 
 // ScheduleResponse reports a scheduling pass.
 type ScheduleResponse struct {
+	Traced
 	Filter string `json:"filter"`
 	// Policy and PolicyID are the serving policy's display name and
 	// stable content identity (the cache/singleflight/routing key
@@ -128,6 +147,7 @@ type BlockDecision struct {
 
 // PredictResponse reports the filter's decisions.
 type PredictResponse struct {
+	Traced
 	Filter        string          `json:"filter"`
 	Policy        string          `json:"policy"`
 	PolicyID      string          `json:"policy_id"`
@@ -149,6 +169,7 @@ type ExecuteRequest struct {
 
 // ExecuteResponse reports a simulated run.
 type ExecuteResponse struct {
+	Traced
 	Filter        string `json:"filter"`
 	Policy        string `json:"policy"`
 	PolicyID      string `json:"policy_id"`

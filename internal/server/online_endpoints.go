@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"schedfilter/internal/obs"
 )
 
 // The online-learning control plane: listing filter versions, manual
@@ -22,23 +24,24 @@ import (
 func (s *Server) onlineEndpoint(name string, work func(r *http.Request, body []byte) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ep := s.metrics.endpoint(name)
+		ep := s.obs.endpoint(name)
+		tr := obs.StartTrace(r.Header.Get(obs.TraceHeader))
 		if s.online == nil {
-			s.reply(w, ep, start, http.StatusBadRequest,
+			s.reply(w, ep, tr, start, http.StatusBadRequest,
 				ErrorResponse{Error: "online learning is disabled (start the server with -online)"})
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 			return
 		}
 		resp, err := work(r, body)
 		if err != nil {
-			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 			return
 		}
-		s.reply(w, ep, start, http.StatusOK, resp)
+		s.reply(w, ep, tr, start, http.StatusOK, resp)
 	}
 }
 

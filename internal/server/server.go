@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"schedfilter"
+	"schedfilter/internal/obs"
 )
 
 // maxBody bounds request bodies (source text is small; listings are the
@@ -117,7 +118,7 @@ type Server struct {
 	order   []string // target names in registry order, for stable output
 	def     *machineTarget
 	pool    *pool
-	metrics *metrics
+	obs     *serverObs
 	mux     *http.ServeMux
 	// flight coalesces concurrent identical schedule/execute requests
 	// (same program fingerprint + filter identity) into one scheduling
@@ -146,8 +147,6 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		targets: map[string]*machineTarget{},
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		metrics: newMetrics("compile", "schedule", "predict", "execute",
-			"filters", "activate", "rollback", "retrain"),
 	}
 	for _, tgt := range schedfilter.Targets() {
 		s.targets[tgt.Name] = &machineTarget{
@@ -174,6 +173,10 @@ func New(cfg Config) *Server {
 		}
 		s.online = mgr
 	}
+	// Metrics registration reads the targets, pool, flight, and online
+	// loop built above; the registry then serves /metrics directly.
+	s.obs = newServerObs(s, "compile", "schedule", "predict", "execute",
+		"filters", "activate", "rollback", "retrain")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.endpoint("compile", s.doCompile))
 	mux.HandleFunc("POST /v1/schedule", s.endpoint("schedule", s.doSchedule))
@@ -241,42 +244,61 @@ func (s *Server) Close() {
 // and the daemon use it.
 func (s *Server) Online() *schedfilter.OnlineManager { return s.online }
 
-// endpoint wraps one compiler endpoint: read the body on the connection
-// goroutine, run work on the bounded pool, encode the response, record
-// metrics. work returns the response value or a client-fault error (400).
-func (s *Server) endpoint(name string, work func(body []byte) (any, error)) http.HandlerFunc {
+// endpoint wraps one compiler endpoint: adopt (or mint) the request's
+// trace, read the body on the connection goroutine, run work on the
+// bounded pool (measuring queue wait into the trace), seal the trace
+// into the response, encode, record metrics. work returns the response
+// value or a client-fault error (400).
+func (s *Server) endpoint(name string, work func(ctx context.Context, body []byte) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ep := s.metrics.endpoint(name)
+		ep := s.obs.endpoint(name)
+		tr := obs.StartTrace(r.Header.Get(obs.TraceHeader))
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 			return
 		}
+		ctx := obs.WithTrace(r.Context(), tr)
 		var resp any
 		var workErr error
-		err = s.pool.Do(r.Context(), func() { resp, workErr = work(body) })
+		submit := time.Now()
+		err = s.pool.Do(ctx, func() {
+			tr.Record(obs.PhaseQueueWait, time.Since(submit).Nanoseconds())
+			resp, workErr = work(ctx, body)
+		})
 		switch {
 		case errors.Is(err, ErrBusy):
 			w.Header().Set("Retry-After", "1")
-			s.reply(w, ep, start, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
 		case errors.Is(err, ErrClosed):
-			s.reply(w, ep, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 		case err != nil:
 			// Client went away mid-job; the write below is best-effort.
-			s.reply(w, ep, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+			s.reply(w, ep, tr, start, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 		case workErr != nil:
-			s.reply(w, ep, start, http.StatusBadRequest, ErrorResponse{Error: workErr.Error()})
+			s.reply(w, ep, tr, start, http.StatusBadRequest, ErrorResponse{Error: workErr.Error()})
 		default:
-			s.reply(w, ep, start, http.StatusOK, resp)
+			info := tr.Finish(time.Since(start).Nanoseconds())
+			if tc, ok := resp.(traceCarrier); ok {
+				tc.setTrace(info)
+			}
+			s.obs.observeSpans(info)
+			s.reply(w, ep, tr, start, http.StatusOK, resp)
 		}
 	}
 }
 
-func (s *Server) reply(w http.ResponseWriter, ep *epStats, start time.Time, status int, v any) {
+// reply records the response outcome and writes the JSON body. The
+// trace ID is echoed on every response — including errors — so a caller
+// can correlate failures too; tr may be nil for untraced handlers.
+func (s *Server) reply(w http.ResponseWriter, ep *epMetrics, tr *obs.Trace, start time.Time, status int, v any) {
 	ep.record(status, time.Since(start))
 	if s.cfg.Node != "" {
 		w.Header().Set("X-Sched-Node", s.cfg.Node)
+	}
+	if id := tr.ID(); id != "" {
+		w.Header().Set(obs.TraceHeader, id)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -287,7 +309,7 @@ func (s *Server) reply(w http.ResponseWriter, ep *epStats, start time.Time, stat
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = io.WriteString(w, s.metrics.render(s))
+	s.obs.reg.Render(w)
 }
 
 // BeginDrain flips the health endpoint to 503 ("draining"). Call it
@@ -436,7 +458,7 @@ func (s *Server) observe(mt *machineTarget, prog *schedfilter.Program) {
 	}
 }
 
-func (s *Server) doCompile(body []byte) (any, error) {
+func (s *Server) doCompile(ctx context.Context, body []byte) (any, error) {
 	var req CompileRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
@@ -450,7 +472,8 @@ func (s *Server) doCompile(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := CompileResponse{
+	obs.TraceFrom(ctx).Record(obs.PhaseCompile, compileT.Nanoseconds())
+	resp := &CompileResponse{
 		Fns:       len(prog.Fns),
 		Blocks:    prog.NumBlocks(),
 		Instrs:    prog.NumInstrs(),
@@ -464,26 +487,38 @@ func (s *Server) doCompile(body []byte) (any, error) {
 
 // schedulePass runs the filter-gated scheduling pass for a request on
 // the resolved target's machine and cache, and feeds the pass totals
-// into the server metrics.
+// into the server metrics. The pass runs with phase timing on, so the
+// returned stats carry the per-phase breakdown traces report.
 func (s *Server) schedulePass(prog *schedfilter.Program, f schedfilter.Filter, mt *machineTarget, noCache bool) schedfilter.ScheduleStats {
 	cache := mt.cache
 	if noCache {
 		cache = nil
 	}
-	st := schedfilter.ScheduleWithCache(mt.model, prog, f, cache)
+	st := schedfilter.ScheduleWithCacheTimed(mt.model, prog, f, cache)
 	runs := st.CacheMisses
 	if noCache {
 		runs = st.Scheduled
 	}
-	s.metrics.blocksSeen.Add(int64(st.Blocks))
-	s.metrics.blocksScheduled.Add(int64(st.Scheduled))
-	s.metrics.schedulerRuns.Add(int64(runs))
-	s.metrics.cacheHits.Add(int64(st.CacheHits))
-	s.metrics.schedNs.Add(st.SchedTime.Nanoseconds())
+	s.obs.blocksSeen.Add(int64(st.Blocks))
+	s.obs.blocksScheduled.Add(int64(st.Scheduled))
+	s.obs.schedulerRuns.Add(int64(runs))
+	s.obs.cacheHits.Add(int64(st.CacheHits))
+	s.obs.schedNs.Add(st.SchedTime.Nanoseconds())
 	return st
 }
 
-func (s *Server) doSchedule(body []byte) (any, error) {
+// recordSchedPhases feeds a pass's phase breakdown into the request's
+// trace. Callers skip it for coalesced responses: a follower's wall
+// time overlaps only part of the leader's pass, and recording the
+// leader's phases could break the sum(spans) ≤ total invariant.
+func recordSchedPhases(tr *obs.Trace, st schedfilter.ScheduleStats) {
+	tr.Record(obs.PhaseCacheLookup, st.Phases.CacheLookupNs)
+	tr.Record(obs.PhaseDAGBuild, st.Phases.DAGBuildNs)
+	tr.Record(obs.PhaseListSchedule, st.Phases.ListSchedNs)
+	tr.Record(obs.PhaseEstimator, st.Phases.EstimatorNs)
+}
+
+func (s *Server) doSchedule(ctx context.Context, body []byte) (any, error) {
 	var req ScheduleRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
@@ -500,6 +535,8 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
+	tr.Record(obs.PhaseCompile, compileT.Nanoseconds())
 	s.observe(mt, prog)
 	// The fingerprint context is the filter's content identity, not its
 	// display name: two hot-swapped filter versions that share a label
@@ -522,7 +559,10 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 		st = v.(schedfilter.ScheduleStats)
 		coalesced = shared
 	}
-	return ScheduleResponse{
+	if !coalesced {
+		recordSchedPhases(tr, st)
+	}
+	return &ScheduleResponse{
 		Filter:        f.Name(),
 		Policy:        f.Name(),
 		PolicyID:      schedfilter.PolicyID(f),
@@ -543,7 +583,7 @@ func (s *Server) doSchedule(body []byte) (any, error) {
 	}, nil
 }
 
-func (s *Server) doPredict(body []byte) (any, error) {
+func (s *Server) doPredict(ctx context.Context, body []byte) (any, error) {
 	var req PredictRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
@@ -559,11 +599,12 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, _, err := s.compileInput(req.ProgramInput)
+	prog, compileT, err := s.compileInput(req.ProgramInput)
 	if err != nil {
 		return nil, err
 	}
-	resp := PredictResponse{
+	obs.TraceFrom(ctx).Record(obs.PhaseCompile, compileT.Nanoseconds())
+	resp := &PredictResponse{
 		Filter:        f.Name(),
 		Policy:        f.Name(),
 		PolicyID:      schedfilter.PolicyID(f),
@@ -591,7 +632,7 @@ func (s *Server) doPredict(body []byte) (any, error) {
 	return resp, nil
 }
 
-func (s *Server) doExecute(body []byte) (any, error) {
+func (s *Server) doExecute(ctx context.Context, body []byte) (any, error) {
 	var req ExecuteRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request: %w", err)
@@ -608,6 +649,8 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
+	tr.Record(obs.PhaseCompile, compileT.Nanoseconds())
 	s.observe(mt, prog)
 	// Execute must schedule its own program copy before simulating, but
 	// concurrent identical requests still coalesce the scheduler work:
@@ -621,12 +664,16 @@ func (s *Server) doExecute(body []byte) (any, error) {
 	if coalesced {
 		st = s.schedulePass(prog, f, mt, false)
 	}
+	// Either way the pass whose phases we report ran inside this
+	// request's wall time (followers re-ran their own replay pass).
+	recordSchedPhases(tr, st)
 	simStart := time.Now()
 	res, err := schedfilter.Execute(prog, mt.model, !req.Untimed)
 	if err != nil {
 		return nil, err
 	}
-	return ExecuteResponse{
+	tr.Record(obs.PhaseSim, time.Since(simStart).Nanoseconds())
+	return &ExecuteResponse{
 		Filter:        f.Name(),
 		Policy:        f.Name(),
 		PolicyID:      schedfilter.PolicyID(f),

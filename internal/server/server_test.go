@@ -618,12 +618,12 @@ func TestScheduleConcurrentDuplicatesCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := s.doSchedule(body)
+			v, err := s.doSchedule(context.Background(), body)
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
 			}
-			results[i] = v.(ScheduleResponse)
+			results[i] = *v.(*ScheduleResponse)
 		}(i)
 	}
 	wg.Wait()
@@ -678,12 +678,12 @@ func TestExecuteConcurrentDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := s.doExecute(body)
+			v, err := s.doExecute(context.Background(), body)
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
 			}
-			results[i] = v.(ExecuteResponse)
+			results[i] = *v.(*ExecuteResponse)
 		}(i)
 	}
 	wg.Wait()

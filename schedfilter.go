@@ -286,6 +286,19 @@ func ScheduleWithCache(m *Machine, p *Program, f Filter, c *ScheduleCache) Sched
 	return core.ApplyFilterCached(m, p, f, c)
 }
 
+// ScheduleWithCacheTimed is ScheduleWithCache with per-phase timing on:
+// the returned stats' Phases field breaks the pass's wall time into
+// cache-lookup, DAG-build, list-schedule, and estimator components. The
+// compile server uses it to populate request traces; the breakdown adds
+// no allocations to the scheduling hot path.
+func ScheduleWithCacheTimed(m *Machine, p *Program, f Filter, c *ScheduleCache) ScheduleStats {
+	return core.ApplyFilterCachedTimed(m, p, f, c)
+}
+
+// SchedulePhaseTimes is the per-phase breakdown carried by
+// ScheduleStats.Phases.
+type SchedulePhaseTimes = sched.PhaseTimes
+
 // FingerprintBlock returns the content fingerprint under which a block's
 // scheduling result is cached: a hash of its instruction stream and the
 // machine model name.

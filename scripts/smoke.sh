@@ -59,17 +59,27 @@ key2=$(grep -o '"program_key": "[0-9a-f]*"' "$TMP/r2.json")
   || fail "program fingerprints differ between identical requests: $key1 vs $key2"
 
 echo "smoke: checking /metrics counters"
-"$TMP/schedctl" -addr "$BASE" metrics >"$TMP/m1.txt"
+"$TMP/schedctl" -addr "$BASE" metrics -raw >"$TMP/m1.txt"
 runs1=$(awk '/^schedserved_scheduler_runs_total /{print $2}' "$TMP/m1.txt")
 [ -n "$runs1" ] || fail "scheduler_runs_total missing from /metrics"
 
 "$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS >/dev/null
-"$TMP/schedctl" -addr "$BASE" metrics >"$TMP/m2.txt"
+"$TMP/schedctl" -addr "$BASE" metrics -raw >"$TMP/m2.txt"
 runs2=$(awk '/^schedserved_scheduler_runs_total /{print $2}' "$TMP/m2.txt")
 [ "$runs1" = "$runs2" ] \
   || fail "scheduler ran on a warm request (runs $runs1 -> $runs2)"
 grep -q '^codecache_hits_total [1-9]' "$TMP/m2.txt" \
   || fail "codecache_hits_total not positive"
+
+echo "smoke: traced request round-trips its ID and feeds the phase histograms"
+"$TMP/schedctl" -addr "$BASE" trace -workload compress -filter LS -id smoke-trace-1 >"$TMP/tr1.txt" \
+  || fail "trace request failed: $(cat "$TMP/tr1.txt")"
+grep -q '^trace smoke-trace-1 ' "$TMP/tr1.txt" \
+  || fail "X-Sched-Trace ID did not round-trip: $(cat "$TMP/tr1.txt")"
+grep -q '  compile ' "$TMP/tr1.txt" \
+  || fail "trace breakdown has no compile span: $(cat "$TMP/tr1.txt")"
+"$TMP/schedctl" -addr "$BASE" metrics -raw | grep -q 'schedserved_phase_ns_bucket{phase="compile",le="+Inf"} [1-9]' \
+  || fail "schedserved_phase_ns histogram saw no compile samples"
 
 echo "smoke: scalar1 target request (separate cache, cold)"
 "$TMP/schedctl" -addr "$BASE" schedule -workload compress -filter LS -target scalar1 >"$TMP/r3.json"
@@ -80,7 +90,7 @@ grep -q '"cache_misses": [1-9]' "$TMP/r3.json" \
 key3=$(grep -o '"program_key": "[0-9a-f]*"' "$TMP/r3.json")
 [ -n "$key3" ] && [ "$key3" != "$key1" ] \
   || fail "scalar1 program fingerprint collides with mpc7410: $key3"
-"$TMP/schedctl" -addr "$BASE" metrics | grep -q 'codecache_target_entries{target="scalar1"} [1-9]' \
+"$TMP/schedctl" -addr "$BASE" metrics -raw | grep -q 'codecache_target_entries{target="scalar1"} [1-9]' \
   || fail "per-target cache metrics missing scalar1 entries"
 
 echo "smoke: unknown target is rejected"
@@ -153,7 +163,7 @@ echo "smoke: rollback restores the previous filter"
 "$TMP/schedctl" -addr "$BASE2" filters rollback >"$TMP/rb.txt" \
   || fail "rollback failed: $(cat "$TMP/rb.txt")"
 "$TMP/schedctl" -addr "$BASE2" health >/dev/null || fail "server unhealthy after rollback"
-"$TMP/schedctl" -addr "$BASE2" metrics | grep -q '^online_rollbacks_total 1' \
+"$TMP/schedctl" -addr "$BASE2" metrics -raw | grep -q '^online_rollbacks_total 1' \
   || fail "rollback not counted in /metrics"
 
 echo "smoke: online daemon graceful shutdown"
@@ -211,6 +221,18 @@ primary=$(sed -n 's/^loadgen: node mix: \(n[ab]\) .*/\1/p' "$TMP/glg1.txt")
 [ -n "$primary" ] || fail "could not identify compress's primary node: $mixline"
 echo "smoke: compress routes to $primary"
 
+echo "smoke: trace round-trip through the gateway"
+"$TMP/schedctl" -addr "$GBASE" trace -workload compress -filter LS -id smoke-gw-trace >"$TMP/gtr.txt" \
+  || fail "gateway trace request failed: $(cat "$TMP/gtr.txt")"
+grep -q '^trace smoke-gw-trace ' "$TMP/gtr.txt" \
+  || fail "trace ID did not survive the gateway hop: $(cat "$TMP/gtr.txt")"
+grep -q '  route ' "$TMP/gtr.txt" \
+  || fail "gateway did not prepend its route span: $(cat "$TMP/gtr.txt")"
+grep -q '  compile ' "$TMP/gtr.txt" \
+  || fail "backend spans did not survive the gateway relay: $(cat "$TMP/gtr.txt")"
+"$TMP/schedctl" -addr "$GBASE" metrics -raw | grep -q 'schedgate_phase_ns_bucket{phase="route",le="+Inf"} [1-9]' \
+  || fail "schedgate_phase_ns histogram saw no route samples"
+
 echo "smoke: seeding both backends and waiting for measurement"
 for base in "http://$ADDR_A" "http://$ADDR_B"; do
   "$TMP/schedctl" -addr "$base" schedule -workload compress -filter default >/dev/null 2>&1
@@ -218,7 +240,7 @@ for base in "http://$ADDR_A" "http://$ADDR_B"; do
   # Sample measurement is asynchronous; retraining before the queue
   # drains would see an empty reservoir.
   for i in $(seq 1 100); do
-    "$TMP/schedctl" -addr "$base" metrics >"$TMP/om.txt"
+    "$TMP/schedctl" -addr "$base" metrics -raw >"$TMP/om.txt"
     enq=$(awk '/^online_blocks_enqueued_total /{print $2}' "$TMP/om.txt")
     meas=$(awk '/^online_samples_measured_total /{print $2}' "$TMP/om.txt")
     if [ -n "$enq" ] && [ "$enq" -gt 0 ] && [ "$meas" -ge "$enq" ]; then break; fi
